@@ -1,0 +1,90 @@
+// Command espstat aggregates JSON run reports produced by
+// `espsim -json`: it groups runs by (architecture, workload), reports
+// mean / 95% CI for the performance metric, and, when a baseline
+// architecture is present, shared-normalized comparisons.
+//
+// Usage:
+//
+//	for s in 1 2 3; do
+//	  go run ./cmd/espsim -arch esp-nuca -workload oltp -seed $s -json
+//	  go run ./cmd/espsim -arch shared   -workload oltp -seed $s -json
+//	done > runs.jsonl
+//	go run ./cmd/espstat -baseline shared < runs.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"espnuca/internal/experiment"
+	"espnuca/internal/stats"
+	"espnuca/internal/workload"
+)
+
+func main() {
+	baseline := flag.String("baseline", "shared", "architecture to normalize against (empty: none)")
+	flag.Parse()
+
+	type key struct{ arch, wl string }
+	groups := map[key][]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rep experiment.RunResult
+		if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "espstat: line %d: %v\n", lineNo, err)
+			os.Exit(1)
+		}
+		spec, ok := workload.ByName(rep.Workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "espstat: line %d: unknown workload %q\n", lineNo, rep.Workload)
+			os.Exit(1)
+		}
+		k := key{rep.Arch, rep.Workload}
+		groups[k] = append(groups[k], rep.Performance(spec.Kind))
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "espstat:", err)
+		os.Exit(1)
+	}
+	if len(groups) == 0 {
+		fmt.Fprintln(os.Stderr, "espstat: no reports on stdin")
+		os.Exit(1)
+	}
+
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].wl != keys[j].wl {
+			return keys[i].wl < keys[j].wl
+		}
+		return keys[i].arch < keys[j].arch
+	})
+
+	fmt.Printf("%-12s %-14s %6s %12s %10s %10s\n", "workload", "arch", "runs", "perf", "ci95", "norm")
+	for _, k := range keys {
+		s := stats.Summarize(groups[k])
+		norm := ""
+		if *baseline != "" {
+			if base, ok := groups[key{*baseline, k.wl}]; ok {
+				bs := stats.Summarize(base)
+				if bs.Mean > 0 {
+					norm = fmt.Sprintf("%10.3f", s.Mean/bs.Mean)
+				}
+			}
+		}
+		fmt.Printf("%-12s %-14s %6d %12.4f %10.4f %10s\n",
+			k.wl, k.arch, s.N, s.Mean, s.CI95, norm)
+	}
+}

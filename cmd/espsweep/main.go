@@ -1,0 +1,221 @@
+// Command espsweep regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	espsweep -figure 8            # one evaluation figure (4-10)
+//	espsweep -table 1             # the workload catalog
+//	espsweep -all                 # every figure, full quality
+//	espsweep -figure 8 -quick     # one seed, short quantum
+//	espsweep -sweep params        # S5.2 sensitivity sweep (a, b, d, N)
+//	espsweep -stability           # S6 cross-suite variance comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"espnuca"
+	"espnuca/internal/arch"
+	"espnuca/internal/core"
+	"espnuca/internal/experiment"
+	"espnuca/internal/sim"
+)
+
+func main() {
+	var (
+		figure = flag.Int("figure", 0, "figure to regenerate (4-10)")
+		table  = flag.Int("table", 0, "table to print (1 or 2)")
+		all    = flag.Bool("all", false, "regenerate every figure")
+		quick  = flag.Bool("quick", false, "single seed, short quantum")
+		csv    = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+		sweep  = flag.String("sweep", "", "'params' (S5.2 constants), 'hops', 'capacity' or 'l1' scaling sweeps")
+		stab   = flag.Bool("stability", false, "print the S6 performance-variance comparison")
+		instrs = flag.Uint64("instructions", 0, "override measured quantum")
+		seeds  = flag.Int("seeds", 0, "override the number of perturbation seeds")
+	)
+	flag.Parse()
+
+	var seedList []uint64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, uint64(i+1))
+	}
+	fo := espnuca.FigureOptions{
+		Quick:        *quick,
+		Seeds:        seedList,
+		Instructions: *instrs,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+
+	emit := func(id int) {
+		tab, err := espnuca.Figure(id, fo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "espsweep:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+			return
+		}
+		fmt.Println(tab)
+	}
+
+	switch {
+	case *stab:
+		stability(*quick)
+	case *sweep == "params":
+		sweepParams(*quick)
+	case *sweep == "hops" || *sweep == "capacity" || *sweep == "l1":
+		scalingSweep(*sweep, *quick)
+	case *all:
+		for id := 4; id <= 10; id++ {
+			emit(id)
+		}
+	case *figure != 0:
+		emit(*figure)
+	case *table == 1:
+		fmt.Println(espnuca.WorkloadTable())
+	case *table == 2:
+		printTable2()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// printTable2 prints the simulated system configuration (paper Table 2).
+func printTable2() {
+	cfg := arch.DefaultConfig()
+	fmt.Println("== Table 2: main simulation parameters ==")
+	fmt.Printf("cores            %d (out-of-order, window 64, 16 MSHRs, 4-issue)\n", cfg.Cores)
+	fmt.Printf("L1 I/D           %d KB, %d-way, %dB blocks, %d cycles (%d tag)\n",
+		cfg.L1.Bytes/1024, cfg.L1.Ways, cfg.L1.BlockBytes, cfg.L1.Latency, cfg.L1.TagLatency)
+	fmt.Printf("L2 NUCA          %d MB, %d banks (%d per router), %d-way, %d cycles (%d tag)\n",
+		cfg.L2Lines()*cfg.BlockBytes/(1024*1024), cfg.Banks, cfg.Banks/8, cfg.Ways,
+		cfg.BankLatency, cfg.TagLatency)
+	fmt.Printf("network          %dx%d mesh, DOR routing, %d-bit links, %d-cycle hops\n",
+		cfg.NoC.Cols, cfg.NoC.Rows, cfg.NoC.LinkBytes*8, cfg.NoC.HopLatency)
+	fmt.Printf("memory           %d controllers, %d-cycle latency\n",
+		cfg.DRAM.Channels, cfg.DRAM.Latency)
+	fmt.Printf("ESP-NUCA sampler a=%d b=%d d=%d, %d conventional + %d reference + %d explorer sets\n",
+		cfg.Sampler.A, cfg.Sampler.B, cfg.Sampler.D,
+		cfg.Sampler.ConventionalSets, cfg.Sampler.ReferenceSets, cfg.Sampler.ExplorerSets)
+}
+
+// sweepParams reruns a transactional and a NAS workload with varied
+// protected-LRU constants (paper S5.2's sensitivity analysis).
+func sweepParams(quick bool) {
+	workloads := []string{"apache", "CG"}
+	instrs := uint64(40_000)
+	if quick {
+		instrs = 15_000
+	}
+	type variant struct {
+		name string
+		mod  func(*core.SamplerConfig)
+	}
+	variants := []variant{
+		{"baseline a=1 b=8 d=3", func(*core.SamplerConfig) {}},
+		{"a=2 (N=7 samples)", func(s *core.SamplerConfig) { s.A = 2 }},
+		{"a=3 (N=15 samples)", func(s *core.SamplerConfig) { s.A = 3 }},
+		{"b=6", func(s *core.SamplerConfig) {
+			s.B = 6
+			if s.A > s.B {
+				s.A = s.B
+			}
+		}},
+		{"d=2 (25% slack)", func(s *core.SamplerConfig) { s.D = 2 }},
+		{"d=4 (6.25% slack)", func(s *core.SamplerConfig) { s.D = 4 }},
+		{"4 conventional sets", func(s *core.SamplerConfig) { s.ConventionalSets = 4 }},
+		{"2 ref + 2 explorer", func(s *core.SamplerConfig) { s.ReferenceSets = 2; s.ExplorerSets = 2 }},
+	}
+	fmt.Println("== S5.2 sensitivity: ESP-NUCA protected-LRU constants ==")
+	for _, wl := range workloads {
+		base := 0.0
+		for i, v := range variants {
+			rc := experiment.DefaultRunConfig("esp-nuca", wl)
+			rc.Instructions = instrs
+			v.mod(&rc.System.Sampler)
+			res, err := experiment.Run(rc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "espsweep:", err)
+				os.Exit(1)
+			}
+			if i == 0 {
+				base = res.Throughput
+			}
+			fmt.Printf("%-8s %-22s perf=%8.4f norm=%6.3f\n", wl, v.name, res.Throughput, res.Throughput/base)
+		}
+		fmt.Println()
+	}
+}
+
+// stability reproduces the paper's S6 variance claims: the variance of
+// shared-normalized performance across each workload family, per
+// architecture, and ESP-NUCA's reduction versus its counterparts.
+func stability(quick bool) {
+	o := experiment.DefaultOptions()
+	if quick {
+		o = experiment.QuickOptions()
+	}
+	families := []struct {
+		name      string
+		workloads []string
+	}{
+		{"transactional", []string{"apache", "jbb", "oltp", "zeus"}},
+		{"multiprogrammed", []string{"art-4", "gcc-4", "gzip-4", "mcf-4", "twolf-4",
+			"art-gzip", "gcc-gzip", "gcc-twolf", "mcf-gzip", "mcf-twolf"}},
+		{"NAS", []string{"BT", "CG", "FT", "IS", "LU", "MG", "SP", "UA"}},
+	}
+	variants := append(experiment.CounterpartVariants(), experiment.CCFamily()...)
+	for _, fam := range families {
+		m := experiment.NewMatrix(fam.workloads, variants)
+		m.Seeds, m.Warmup, m.Instructions = o.Seeds, o.Warmup, o.Instructions
+		res, err := m.Run(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s %d/%d", fam.name, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "espsweep:", err)
+			os.Exit(1)
+		}
+		rep, err := experiment.Stability(res, "esp-nuca", "shared", fam.workloads,
+			[]string{"private", "d-nuca", "asr", "CC70"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "espsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n", fam.name, rep)
+	}
+}
+
+// scalingSweep runs the extension scaling studies (wire delay, L2
+// capacity, L1 size) on a representative transactional workload.
+func scalingSweep(kind string, quick bool) {
+	o := experiment.DefaultOptions()
+	if quick {
+		o = experiment.QuickOptions()
+	}
+	var tab experiment.Table
+	var err error
+	switch kind {
+	case "hops":
+		tab, err = experiment.HopLatencySweep("oltp", []sim.Cycle{2, 5, 8, 12}, o)
+	case "capacity":
+		tab, err = experiment.CapacitySweep("oltp", []int{16, 32, 64, 128}, o)
+	case "l1":
+		tab, err = experiment.L1Sweep("oltp", []int{4 << 10, 8 << 10, 16 << 10, 32 << 10}, o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab)
+}

@@ -1,0 +1,204 @@
+// Package espnuca is a simulator-backed reproduction of "ESP-NUCA: A
+// Low-cost Adaptive Non-Uniform Cache Architecture" (Merino, Puente,
+// Gregorio; HPCA 2010).
+//
+// It provides, behind one facade:
+//
+//   - a cycle-level CMP memory-system simulator (8 out-of-order cores,
+//     split L1s, a 32-bank NUCA L2 on a 4x2 mesh with DOR routing, token
+//     coherence, DRAM channels);
+//   - thirteen L2 organizations: the paper's ESP-NUCA (protected LRU +
+//     set sampling) and SP-NUCA, the evaluated counterparts (shared
+//     S-NUCA, private/tiled, D-NUCA, ASR, Cooperative Caching, the
+//     Figure 4 partitioning variants), and three extensions (per-priority
+//     QoS, Victim Replication, Reactive-NUCA);
+//   - synthetic models of the paper's 22 workloads (Table 1);
+//   - an experiment harness that regenerates every figure of the
+//     evaluation section.
+//
+// Quick start:
+//
+//	report, err := espnuca.Run(espnuca.Options{
+//		Architecture: "esp-nuca",
+//		Workload:     "apache",
+//	})
+//
+// Figures:
+//
+//	table, err := espnuca.Figure(8, espnuca.FigureOptions{})
+//	fmt.Print(table)
+package espnuca
+
+import (
+	"fmt"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/cpu"
+	"espnuca/internal/experiment"
+	"espnuca/internal/workload"
+)
+
+// Options selects what to simulate.
+type Options struct {
+	// Architecture is one of Architectures() (default "esp-nuca").
+	Architecture string
+	// Workload is one of Workloads() (default "apache").
+	Workload string
+	// Seed perturbs the run for variability estimation (default 1).
+	Seed uint64
+	// Warmup and Instructions are per-core instruction counts for the
+	// warmup and measured phases (defaults 80k / 40k).
+	Warmup, Instructions uint64
+	// FullSize simulates the paper's full Table 2 machine (8 MB L2,
+	// 32 KB L1s) instead of the capacity-scaled default. Full-size runs
+	// need proportionally longer warmup to exercise capacity effects.
+	FullSize bool
+	// CCProbability overrides the Cooperative Caching cooperation
+	// probability (architecture "cc" only). Zero or out-of-range values
+	// keep the default (0.7); for a true CC-0% configuration use the
+	// experiment package's CCFamily variants.
+	CCProbability float64
+	// CheckTokens enables per-transaction token-conservation checking
+	// (slower; for debugging and tests).
+	CheckTokens bool
+}
+
+// Report is the outcome of one simulation run.
+type Report = experiment.RunResult
+
+// Table is a rendered experiment (rows x columns) matching one of the
+// paper's figures or tables.
+type Table = experiment.Table
+
+// Architectures lists every buildable L2 organization.
+func Architectures() []string { return arch.Names() }
+
+// Workloads lists the 22-workload catalog of Table 1.
+func Workloads() []string { return workload.Names() }
+
+// Run executes one simulation and returns its metrics.
+func Run(o Options) (Report, error) {
+	rc, err := o.runConfig()
+	if err != nil {
+		return Report{}, err
+	}
+	return experiment.Run(rc)
+}
+
+func (o Options) runConfig() (experiment.RunConfig, error) {
+	if o.Architecture == "" {
+		o.Architecture = "esp-nuca"
+	}
+	if o.Workload == "" {
+		o.Workload = "apache"
+	}
+	if _, ok := workload.ByName(o.Workload); !ok {
+		return experiment.RunConfig{}, fmt.Errorf("espnuca: unknown workload %q (see Workloads())", o.Workload)
+	}
+	rc := experiment.DefaultRunConfig(o.Architecture, o.Workload)
+	if o.Seed != 0 {
+		rc.Seed = o.Seed
+	}
+	if o.Warmup != 0 {
+		rc.Warmup = o.Warmup
+	}
+	if o.Instructions != 0 {
+		rc.Instructions = o.Instructions
+	}
+	if o.FullSize {
+		rc.System = arch.DefaultConfig()
+	}
+	if o.CCProbability > 0 && o.CCProbability <= 1 {
+		rc.System.CCProbability = o.CCProbability
+	}
+	rc.System.CheckTokens = o.CheckTokens
+	rc.Core = cpu.DefaultConfig()
+	return rc, nil
+}
+
+// FigureOptions tune figure regeneration.
+type FigureOptions struct {
+	// Seeds are the perturbation seeds per data point (default 1,2,3).
+	Seeds []uint64
+	// Instructions is the measured per-core quantum (default 40k).
+	Instructions uint64
+	// Quick reduces cost to one seed and a short quantum.
+	Quick bool
+	// Progress, when non-nil, receives completion updates.
+	Progress func(done, total int)
+}
+
+func (fo FigureOptions) internal() experiment.Options {
+	o := experiment.DefaultOptions()
+	if fo.Quick {
+		o = experiment.QuickOptions()
+	}
+	if len(fo.Seeds) > 0 {
+		o.Seeds = fo.Seeds
+	}
+	if fo.Instructions > 0 {
+		o.Instructions = fo.Instructions
+	}
+	o.Progress = fo.Progress
+	return o
+}
+
+// Figure regenerates one of the paper's evaluation figures (4-10) as a
+// table of the same series the paper plots.
+func Figure(id int, fo FigureOptions) (Table, error) {
+	o := fo.internal()
+	switch id {
+	case 4:
+		return experiment.Figure4(o)
+	case 5:
+		return experiment.Figure5(o)
+	case 6:
+		return experiment.Figure6(o)
+	case 7:
+		return experiment.Figure7(o)
+	case 8:
+		return experiment.Figure8(o)
+	case 9:
+		return experiment.Figure9(o)
+	case 10:
+		return experiment.Figure10(o)
+	}
+	return Table{}, fmt.Errorf("espnuca: no figure %d (the evaluation figures are 4-10)", id)
+}
+
+// WorkloadTable returns Table 1 (the workload catalog).
+func WorkloadTable() Table { return experiment.Table1() }
+
+// DetailedReport bundles the run metrics with post-run inspections: the
+// L2 occupancy/class-mix snapshot (the physical outcome of the adaptive
+// mechanisms) and an analytic energy estimate.
+type DetailedReport struct {
+	Report
+	Occupancy experiment.OccupancyReport
+	Energy    experiment.EnergyReport
+}
+
+// RunDetailed executes one simulation and returns the detailed report.
+func RunDetailed(o Options) (DetailedReport, error) {
+	rc, err := o.runConfig()
+	if err != nil {
+		return DetailedReport{}, err
+	}
+	sys, err := arch.Build(rc.Arch, rc.System)
+	if err != nil {
+		return DetailedReport{}, err
+	}
+	rep, err := experiment.RunOn(rc, sys)
+	if err != nil {
+		return DetailedReport{}, err
+	}
+	energy, err := experiment.EstimateEnergy(sys, uint64(rep.Cycles))
+	if err != nil {
+		return DetailedReport{}, err
+	}
+	return DetailedReport{
+		Report:    rep,
+		Occupancy: experiment.Occupancy(sys),
+		Energy:    energy,
+	}, nil
+}

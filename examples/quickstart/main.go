@@ -1,0 +1,39 @@
+// Quickstart: simulate ESP-NUCA and the shared baseline on one workload
+// and compare them — the smallest useful use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"espnuca"
+)
+
+func main() {
+	workload := "apache"
+
+	shared, err := espnuca.Run(espnuca.Options{
+		Architecture: "shared",
+		Workload:     workload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	esp, err := espnuca.Run(espnuca.Options{
+		Architecture: "esp-nuca",
+		Workload:     workload,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n\n", workload)
+	fmt.Printf("%-10s %12s %14s %12s\n", "arch", "throughput", "avg access", "off-chip")
+	for _, r := range []espnuca.Report{shared, esp} {
+		fmt.Printf("%-10s %12.4f %11.2f cy %12d\n",
+			r.Arch, r.Throughput, r.AvgAccessTime, r.OffChipAccesses)
+	}
+	fmt.Printf("\nESP-NUCA speedup over shared S-NUCA: %.1f%%\n",
+		(esp.Throughput/shared.Throughput-1)*100)
+}

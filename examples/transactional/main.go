@@ -1,0 +1,63 @@
+// Transactional: the paper's §6.2 scenario. Runs the four Wisconsin
+// commercial workloads (apache, jbb, oltp, zeus) across the main
+// architecture comparison set and prints shared-normalized performance
+// plus the average access-time decomposition — the data behind Figures 6
+// and 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"espnuca"
+	"espnuca/internal/arch"
+)
+
+func main() {
+	workloads := []string{"apache", "jbb", "oltp", "zeus"}
+	architectures := []string{"shared", "private", "d-nuca", "asr", "cc", "esp-nuca"}
+
+	fmt.Println("shared-normalized performance (transactional workloads)")
+	fmt.Printf("%-8s", "")
+	for _, a := range architectures {
+		fmt.Printf("%10s", a)
+	}
+	fmt.Println()
+
+	type cell struct{ rep espnuca.Report }
+	results := map[string]map[string]espnuca.Report{}
+
+	for _, wl := range workloads {
+		results[wl] = map[string]espnuca.Report{}
+		base := 0.0
+		fmt.Printf("%-8s", wl)
+		for _, a := range architectures {
+			rep, err := espnuca.Run(espnuca.Options{Architecture: a, Workload: wl})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[wl][a] = rep
+			if a == "shared" {
+				base = rep.Throughput
+			}
+			fmt.Printf("%10.3f", rep.Throughput/base)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\naverage access time decomposition, apache (cycles/access)")
+	fmt.Printf("%-10s", "")
+	for l := arch.Level(0); l < arch.NumLevels; l++ {
+		fmt.Printf("%10s", l)
+	}
+	fmt.Printf("%10s\n", "total")
+	for _, a := range architectures {
+		rep := results["apache"][a]
+		fmt.Printf("%-10s", a)
+		for l := arch.Level(0); l < arch.NumLevels; l++ {
+			fmt.Printf("%10.2f", rep.Decomposition[l])
+		}
+		fmt.Printf("%10.2f\n", rep.AvgAccessTime)
+	}
+	_ = cell{}
+}

@@ -1,0 +1,3 @@
+module espnuca
+
+go 1.22

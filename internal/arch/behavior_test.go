@@ -1,0 +1,373 @@
+package arch
+
+import (
+	"testing"
+
+	"espnuca/internal/coherence"
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+)
+
+// --- Upgrade path (token-only writes) ---
+
+func TestUpgradeDoesNotTouchDRAM(t *testing.T) {
+	for _, name := range []string{"shared", "private", "sp-nuca", "esp-nuca", "d-nuca", "asr", "cc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys := build(t, name)
+			s := sys.Sub()
+			// Core 0 reads the line (gets 1 token), fills L1.
+			r := sys.Access(0, 0, 100, false)
+			s.L1.Fill(0, 100, false, false)
+			reads := s.DRAM.Reads
+			// Write to the same line: an upgrade; data must not leave DRAM.
+			r2 := sys.Access(r.Done, 0, 100, true)
+			if s.DRAM.Reads != reads {
+				t.Fatalf("upgrade caused a DRAM read")
+			}
+			if r2.Level != LocalL1 {
+				t.Fatalf("upgrade level = %v, want LocalL1", r2.Level)
+			}
+			st := s.Dir.State(100)
+			if st.L1Tokens[0] != coherence.TokensPerLine {
+				t.Fatalf("upgrade did not collect all tokens: %+v", st)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUpgradeInvalidatesOtherSharers(t *testing.T) {
+	sys := build(t, "esp-nuca")
+	s := sys.Sub()
+	var tm sim.Cycle
+	for c := 0; c < 3; c++ {
+		r := sys.Access(tm, c, 100, false)
+		s.L1.Fill(c, 100, false, false)
+		tm = r.Done
+	}
+	r := sys.Access(tm, 0, 100, true) // upgrade by core 0
+	if r.Level != LocalL1 {
+		t.Fatalf("level = %v", r.Level)
+	}
+	for c := 1; c < 3; c++ {
+		if s.L1.Has(c, 100) {
+			t.Fatalf("core %d retains line after upgrade", c)
+		}
+	}
+}
+
+// --- Clean vs dirty write-back routing ---
+
+func TestCleanWritebackAllocatesInVictimArchitectures(t *testing.T) {
+	for _, name := range []string{"private", "cc", "asr", "d-nuca"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys := build(t, name)
+			s := sys.Sub()
+			r := sys.Access(0, 1, 200, false)
+			s.L1.Fill(1, 200, false, false)
+			s.L1.Invalidate(1, 200)
+			sys.WriteBack(r.Done, 1, 200, false) // clean eviction
+			if len(s.l2Has(200)) == 0 {
+				t.Fatal("clean victim not allocated in L2")
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCleanWritebackSharedReleasesTokens(t *testing.T) {
+	sys := build(t, "shared")
+	s := sys.Sub()
+	r := sys.Access(0, 1, 200, false)
+	s.L1.Fill(1, 200, false, false)
+	s.L1.Invalidate(1, 200)
+	sys.WriteBack(r.Done, 1, 200, false)
+	st := s.Dir.State(200)
+	if st.L1Tokens[1] != 0 {
+		t.Fatal("clean write-back left tokens in L1")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyWritebackReachesDRAMEventually(t *testing.T) {
+	// Fill a private tile set until dirty victims cascade to memory.
+	cfg := testConfig()
+	sys, err := NewTiled(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Sub()
+	var tm sim.Cycle
+	// Lines = 8 mod 32 all land in core 0's bank 0 set 2 (4 ways).
+	for i := 0; i < 8; i++ {
+		l := mem.Line(8 + 32*i)
+		r := sys.Access(tm, 0, l, true)
+		s.L1.Fill(0, l, true, false)
+		s.L1.Invalidate(0, l)
+		sys.WriteBack(r.Done, 0, l, true)
+		tm = r.Done + 10
+	}
+	if s.DRAM.Writes == 0 {
+		t.Fatal("no dirty data ever written back to DRAM")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- ESP-NUCA specifics ---
+
+func TestESPFlatVersusProtectedDiffer(t *testing.T) {
+	run := func(protected bool) uint64 {
+		cfg := testConfig()
+		sys, err := NewESPNUCA(cfg, protected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sys.Sub()
+		rng := sim.NewRNG(5)
+		var tm sim.Cycle
+		for op := 0; op < 12000; op++ {
+			c := rng.Intn(8)
+			line := mem.Line(rng.Intn(8192))
+			if s.L1.Lookup(c, line, false, false) {
+				continue
+			}
+			res := sys.Access(tm, c, line, false)
+			wb := s.L1.Fill(c, line, false, false)
+			if wb.Valid {
+				sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+			}
+			tm = res.Done
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.RefusedHelping
+	}
+	flat := run(false)
+	prot := run(true)
+	if flat != 0 {
+		t.Fatalf("flat LRU refused %d helping blocks; it must refuse none", flat)
+	}
+	if prot == 0 {
+		t.Fatal("protected LRU never exercised its admission control")
+	}
+}
+
+func TestESPNMaxHistogram(t *testing.T) {
+	cfg := testConfig()
+	prot, _ := NewESPNUCA(cfg, true)
+	if h := prot.NMaxHistogram(); len(h) != cfg.Banks {
+		t.Fatalf("histogram length %d", len(h))
+	}
+	flat, _ := NewESPNUCA(cfg, false)
+	if flat.NMaxHistogram() != nil {
+		t.Fatal("flat variant has a histogram")
+	}
+	if len(flat.Samplers()) != 0 {
+		t.Fatal("flat variant has samplers")
+	}
+}
+
+func TestESPAblationKnobs(t *testing.T) {
+	cfg := testConfig()
+	sys, _ := NewESPNUCA(cfg, true)
+	for _, smp := range sys.Samplers() {
+		smp.SetNMax(2)
+	}
+	sys.ReplicasOff = true
+	sys.VictimsOff = true
+	s := sys.Sub()
+	rng := sim.NewRNG(9)
+	var tm sim.Cycle
+	for op := 0; op < 3000; op++ {
+		c := rng.Intn(8)
+		line := mem.Line(rng.Intn(256))
+		if s.L1.Lookup(c, line, false, false) {
+			continue
+		}
+		res := sys.Access(tm, c, line, false)
+		wb := s.L1.Fill(c, line, false, false)
+		if wb.Valid {
+			sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+		}
+		tm = res.Done
+	}
+	if sys.Replicas != 0 || sys.Victims != 0 {
+		t.Fatalf("knobs ignored: %d replicas, %d victims", sys.Replicas, sys.Victims)
+	}
+}
+
+// --- SP-NUCA shadow & static variants under traffic ---
+
+func TestSPNUCAVariantsStayConsistent(t *testing.T) {
+	for _, kind := range []PartitionKind{FlatLRUPartition, ShadowTagPartition, StaticPartitionKind} {
+		sys, err := NewSPNUCA(testConfig(), kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sys.Sub()
+		rng := sim.NewRNG(11)
+		var tm sim.Cycle
+		for op := 0; op < 3000; op++ {
+			c := rng.Intn(8)
+			line := mem.Line(rng.Intn(512))
+			write := rng.Bool(0.3)
+			if s.L1.Lookup(c, line, write, false) {
+				continue
+			}
+			res := sys.Access(tm, c, line, write)
+			wb := s.L1.Fill(c, line, write, false)
+			if wb.Valid {
+				sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+			}
+			tm = res.Done
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+	}
+}
+
+// --- CC probabilities ---
+
+func TestCCProbabilityOrdersSpills(t *testing.T) {
+	spills := func(p float64) uint64 {
+		cfg := testConfig()
+		cfg.CCProbability = p
+		sys, err := NewCC(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sys.Sub()
+		var tm sim.Cycle
+		// Pound one set with dirty write-backs to force evictions.
+		for i := 0; i < 40; i++ {
+			l := mem.Line(8 + 32*(i%10))
+			r := sys.Access(tm, 0, l, true)
+			s.L1.Fill(0, l, true, false)
+			s.L1.Invalidate(0, l)
+			sys.WriteBack(r.Done, 0, l, true)
+			tm = r.Done + 10
+		}
+		return sys.Spills
+	}
+	if s0 := spills(0); s0 != 0 {
+		t.Fatalf("CC-0%% spilled %d", s0)
+	}
+	s100 := spills(1.0)
+	if s100 == 0 {
+		t.Fatal("CC-100% never spilled")
+	}
+}
+
+// --- ASR adaptation under replica-friendly traffic ---
+
+func TestASRReplicationCreatesLocalCopies(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 3
+	sys, err := NewASR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Sub()
+	// Put a line in tile 0's L2 only; core 7 reads it repeatedly. With
+	// replication level 0.5 some read should copy it into tile 7.
+	r := sys.Access(0, 0, 100, false)
+	s.L1.Fill(0, 100, false, false)
+	s.L1.Invalidate(0, 100)
+	sys.WriteBack(r.Done, 0, 100, false)
+	tm := r.Done + 100
+	created := false
+	pbank, _ := s.Map.Private(100, 7)
+	for i := 0; i < 40 && !created; i++ {
+		sys.Access(tm, 7, 100, false)
+		s.L1.Invalidate(7, 100) // force re-access through L2
+		tm += 500
+		if _, ok := s.l2Find(100, pbank); ok {
+			created = true
+		}
+	}
+	if !created {
+		t.Fatal("ASR never replicated a remote-read line locally")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Substrate edge cases ---
+
+func TestCollectForWriteOnUntouchedLine(t *testing.T) {
+	sys := build(t, "shared")
+	s := sys.Sub()
+	// A write to a line nobody holds: no invalidation latency beyond the
+	// access path itself.
+	done := s.collectForWrite(10, 0, 0, 999)
+	if done != 10 {
+		t.Fatalf("no-sharer GETX took %d extra cycles", done-10)
+	}
+	st := s.Dir.State(999)
+	if st.L1Tokens[0] != coherence.TokensPerLine {
+		t.Fatal("writer did not receive all tokens")
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	sys := build(t, "sp-nuca")
+	s := sys.Sub()
+	// First toucher becomes the private owner.
+	shared, owner := s.statusOf(300, 2)
+	if shared || owner != 2 {
+		t.Fatalf("first touch: shared=%v owner=%d", shared, owner)
+	}
+	// Second core upgrades to shared.
+	shared, _ = s.statusOf(300, 5)
+	if !shared {
+		t.Fatal("second core did not shared-ify the line")
+	}
+	// Status survives while the line is on chip... here nothing holds it,
+	// so dropping the last copy forgets it.
+	s.maybeForgetStatus(300)
+	if _, _, known := s.peekStatus(300); known {
+		t.Fatal("status survived with no on-chip copies")
+	}
+}
+
+func TestRecordL1HitAccounting(t *testing.T) {
+	sys := build(t, "shared")
+	s := sys.Sub()
+	s.RecordL1Hit(3)
+	s.RecordL1Hit(3)
+	if s.Counts[LocalL1] != 2 || s.Latency[LocalL1] != 6 {
+		t.Fatalf("L1 accounting: %d hits, %d cycles", s.Counts[LocalL1], s.Latency[LocalL1])
+	}
+}
+
+func TestMapPrivateSharedAgreeOnCapacity(t *testing.T) {
+	s, err := NewSubstrate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every line has exactly one home (shared) slot and one private slot
+	// per core; aggregate capacity is identical under both mappings.
+	seen := map[int]int{}
+	for l := mem.Line(0); l < 4096; l++ {
+		b, _ := s.Map.Shared(l)
+		seen[b]++
+	}
+	for b := 0; b < s.Cfg.Banks; b++ {
+		if seen[b] != 4096/s.Cfg.Banks {
+			t.Fatalf("bank %d receives %d lines, want %d", b, seen[b], 4096/s.Cfg.Banks)
+		}
+	}
+}

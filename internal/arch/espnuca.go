@@ -1,0 +1,212 @@
+package arch
+
+import (
+	"espnuca/internal/cache"
+	"espnuca/internal/core"
+	"espnuca/internal/mem"
+	"espnuca/internal/noc"
+	"espnuca/internal/sim"
+)
+
+// ESPNUCA is the paper's proposal (§3): SP-NUCA extended with helping
+// blocks — replicas of shared data in the requester's private partition
+// and victims of remote private data in the shared partition — governed
+// either by flat LRU (the Figure 5 baseline) or by the protected-LRU
+// policy with per-bank set sampling and EMA-driven nmax adaptation.
+type ESPNUCA struct {
+	sp        *SPNUCA
+	protected bool
+	samplers  []*core.Sampler // per bank, nil when flat LRU
+	policies  []cache.Policy
+	hooks     espHooks
+
+	// ReplicasOff and VictimsOff disable one helping-block mechanism;
+	// used by the ablation benchmarks to attribute ESP-NUCA's gains.
+	ReplicasOff, VictimsOff bool
+
+	// Replicas and Victims count helping-block creations; RefusedHelping
+	// counts inserts rejected by protected LRU.
+	Replicas, Victims, RefusedHelping uint64
+}
+
+// NewESPNUCA builds ESP-NUCA; protected selects protected LRU (the
+// paper's final configuration) over flat LRU.
+func NewESPNUCA(cfg Config, protected bool) (*ESPNUCA, error) {
+	return newESPNUCA(cfg, protected, nil)
+}
+
+// NewESPNUCAQoS builds protected-LRU ESP-NUCA with the per-priority d
+// policy of paper §5.2's future-work remark: each bank's controller uses
+// the degradation slack of its owning core's priority class.
+func NewESPNUCAQoS(cfg Config, qos core.QoS) (*ESPNUCA, error) {
+	if err := qos.Validate(); err != nil {
+		return nil, err
+	}
+	return newESPNUCA(cfg, true, &qos)
+}
+
+func newESPNUCA(cfg Config, protected bool, qos *core.QoS) (*ESPNUCA, error) {
+	sp, err := NewSPNUCA(cfg, FlatLRUPartition)
+	if err != nil {
+		return nil, err
+	}
+	a := &ESPNUCA{sp: sp, protected: protected}
+	for b := 0; b < cfg.Banks; b++ {
+		if protected {
+			scfg := cfg.Sampler
+			if qos != nil {
+				scfg = qos.Apply(scfg, sp.s.Map.CoreOfBank(b))
+			}
+			smp := core.NewSampler(scfg, cfg.Ways)
+			core.AssignRoles(sp.s.Bank[b], scfg)
+			a.samplers = append(a.samplers, smp)
+			a.policies = append(a.policies, core.ProtectedLRU{S: smp})
+		} else {
+			a.policies = append(a.policies, cache.FlatLRU{})
+		}
+	}
+	if protected {
+		sp.sample = func(bank, set int, firstClassHit bool) {
+			bset := sp.s.Bank[bank].Set(set)
+			if bset.Sampled {
+				a.samplers[bank].Observe(bset.Role, firstClassHit)
+			}
+		}
+	}
+	a.hooks = espHooks{
+		privateMatch: func(line mem.Line, c int) cache.Match {
+			return cache.MatchClass(line, cache.Private, cache.Replica)
+		},
+		homeMatch: func(line mem.Line) cache.Match {
+			return cache.MatchClass(line, cache.Shared, cache.Victim)
+		},
+		onHomeHit: a.onHomeHit,
+		policyFor: func(bank int) cache.Policy { return a.policies[bank] },
+		espOwner:  a,
+	}
+	return a, nil
+}
+
+// Name implements System.
+func (a *ESPNUCA) Name() string {
+	if a.protected {
+		return "esp-nuca"
+	}
+	return "esp-nuca-flat"
+}
+
+// Sub implements System.
+func (a *ESPNUCA) Sub() *Substrate { return a.sp.s }
+
+// Access implements System.
+func (a *ESPNUCA) Access(at sim.Cycle, c int, line mem.Line, write bool) Result {
+	t, level := a.sp.resolve(at, c, line, write, &a.hooks)
+	a.sp.s.record(level, at, t)
+	return Result{Done: t, Level: level}
+}
+
+// WriteBack implements System.
+func (a *ESPNUCA) WriteBack(at sim.Cycle, c int, line mem.Line, dirty bool) {
+	a.sp.writeBack(at, c, line, dirty, &a.hooks)
+}
+
+// onHomeHit runs when the probe chain hits in the shared home bank.
+// Two ESP-NUCA behaviours attach here:
+//
+//   - victim promotion: a victim touched by a core other than its owner
+//     becomes a first-class shared block in place (a second core is now
+//     using it);
+//   - replica creation: a shared block served from a remote home bank is
+//     copied into the requester's private partition as a helping block,
+//     subject to the replacement policy's admission decision.
+func (a *ESPNUCA) onHomeHit(t sim.Cycle, c int, line mem.Line, bank, set int, blk *cache.Block) {
+	s := a.sp.s
+	if blk.Class == cache.Victim {
+		if blk.Owner != c {
+			s.Bank[bank].Reclass(set, cache.MatchClass(line, cache.Victim), cache.Shared, -1)
+			s.reclassWhere(line, bank, cache.Shared)
+			s.markShared(line)
+		}
+		return
+	}
+	// Replica creation for remote shared hits.
+	if blk.Class != cache.Shared || a.ReplicasOff {
+		return
+	}
+	if s.NodeOfBank(bank) == s.NodeOfCore(c) {
+		return // already local: nothing to gain
+	}
+	pbank, pset := s.Map.Private(line, c)
+	if pbank == bank {
+		return
+	}
+	if _, ok := s.l2Find(line, pbank); ok {
+		return // replica already present
+	}
+	ev := s.l2Insert(pbank, pset, cache.Block{
+		Valid: true, Line: line, Class: cache.Replica, Owner: c,
+	}, a.policies[pbank])
+	if ev.Refused {
+		a.RefusedHelping++
+		return
+	}
+	a.Replicas++
+	a.routeEviction(t, ev, pbank)
+}
+
+// routeEviction is ESP-NUCA's eviction fate: an evicted first-class
+// private block is spilled into its home bank's shared partition as a
+// victim (helping block) instead of being dropped; everything else takes
+// the default path.
+func (a *ESPNUCA) routeEviction(at sim.Cycle, ev cache.Evicted, fromBank int) {
+	s := a.sp.s
+	if !ev.Valid {
+		return
+	}
+	blk := ev.Block
+	if blk.Class != cache.Private || a.VictimsOff {
+		s.dropEvicted(at, ev, fromBank)
+		return
+	}
+	hbank, hset := s.Map.Shared(blk.Line)
+	if hbank == fromBank {
+		s.dropEvicted(at, ev, fromBank)
+		return
+	}
+	if _, ok := s.l2Find(blk.Line, hbank); ok {
+		s.dropEvicted(at, ev, fromBank)
+		return
+	}
+	t := s.Mesh.Send(at, s.NodeOfBank(fromBank), s.NodeOfBank(hbank), noc.Data, s.Cfg.BlockBytes)
+	t = s.Bank[hbank].Access(t)
+	vev := s.l2Insert(hbank, hset, cache.Block{
+		Valid: true, Line: blk.Line, Class: cache.Victim, Owner: blk.Owner, Dirty: blk.Dirty,
+	}, a.policies[hbank])
+	if vev.Refused {
+		a.RefusedHelping++
+		s.dropEvicted(t, ev, fromBank)
+		return
+	}
+	a.Victims++
+	// The displaced block from the victim insert takes the default path:
+	// spilling victims recursively would ping-pong helping blocks.
+	s.dropEvicted(t, vev, hbank)
+}
+
+// NMaxHistogram returns the current nmax of every bank (adaptivity
+// studies); nil when running flat LRU.
+func (a *ESPNUCA) NMaxHistogram() []int {
+	if !a.protected {
+		return nil
+	}
+	out := make([]int, len(a.samplers))
+	for i, s := range a.samplers {
+		out[i] = s.NMax()
+	}
+	return out
+}
+
+// Samplers exposes the per-bank controllers (nil entries when flat).
+func (a *ESPNUCA) Samplers() []*core.Sampler { return a.samplers }
+
+var _ System = (*ESPNUCA)(nil)

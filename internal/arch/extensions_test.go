@@ -1,0 +1,253 @@
+package arch
+
+import (
+	"testing"
+
+	"espnuca/internal/core"
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+)
+
+// --- QoS (per-priority d, paper S5.2 future work) ---
+
+func TestQoSValidation(t *testing.T) {
+	q := core.DefaultQoS()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := core.QoS{DFor: map[core.PriorityClass]uint{}}
+	if bad.Validate() == nil {
+		t.Error("missing class mapping accepted")
+	}
+	bad = core.QoS{DFor: map[core.PriorityClass]uint{core.Latency: 0, core.Standard: 3, core.Bulk: 2}}
+	bad.ClassOf[0] = core.Latency
+	if bad.Validate() == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestQoSClassNames(t *testing.T) {
+	for _, c := range []core.PriorityClass{core.Latency, core.Standard, core.Bulk} {
+		if c.String() == "" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+}
+
+func TestQoSDForCore(t *testing.T) {
+	q := core.DefaultQoS()
+	q.ClassOf[0] = core.Latency
+	q.ClassOf[1] = core.Bulk
+	if q.DForCore(0) != 4 || q.DForCore(1) != 2 || q.DForCore(2) != 3 {
+		t.Fatalf("d per core = %d,%d,%d", q.DForCore(0), q.DForCore(1), q.DForCore(2))
+	}
+	if q.DForCore(-1) != 3 || q.DForCore(99) != 3 {
+		t.Error("out-of-range core does not fall back to standard")
+	}
+}
+
+func TestQoSBuildsAndRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.QoS = core.DefaultQoS()
+	cfg.QoS.ClassOf[0] = core.Latency
+	cfg.QoS.ClassOf[7] = core.Bulk
+	sys, err := Build("esp-nuca-qos", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Sub()
+	rng := sim.NewRNG(13)
+	var tm sim.Cycle
+	for op := 0; op < 3000; op++ {
+		c := rng.Intn(8)
+		line := mem.Line(rng.Intn(4096))
+		if s.L1.Lookup(c, line, false, false) {
+			continue
+		}
+		res := sys.Access(tm, c, line, false)
+		wb := s.L1.Fill(c, line, false, false)
+		if wb.Valid {
+			sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+		}
+		tm = res.Done
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQoSRejectsInvalidPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.QoS = core.QoS{DFor: map[core.PriorityClass]uint{}}
+	if _, err := Build("esp-nuca-qos", cfg); err == nil {
+		t.Fatal("invalid QoS policy accepted")
+	}
+}
+
+// TestQoSBulkDonatesMoreThanLatency checks the mechanism end to end: a
+// bank whose owner is Bulk-class (large d) should admit more helping
+// blocks than a Latency-class bank under identical pressure.
+func TestQoSBulkDonatesMoreThanLatency(t *testing.T) {
+	helpingIn := func(cls core.PriorityClass) int {
+		cfg := testConfig()
+		cfg.QoS = core.DefaultQoS()
+		cfg.QoS.ClassOf[0] = cls
+		sys, err := NewESPNUCAQoS(cfg, cfg.QoS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sys.Sub()
+		rng := sim.NewRNG(21)
+		var tm sim.Cycle
+		// Mixed pressure: core 0's own private lines (first-class) against
+		// remote cores' shared lines that spawn replicas/victims landing in
+		// core 0's banks.
+		for op := 0; op < 20000; op++ {
+			var c int
+			var line mem.Line
+			if rng.Bool(0.5) {
+				c = 0
+				line = mem.Line(rng.Intn(2048))*4 + 0 // core 0 private bank group
+			} else {
+				c = 1 + rng.Intn(7)
+				line = mem.Line(rng.Intn(2048))
+			}
+			if s.L1.Lookup(c, line, false, false) {
+				continue
+			}
+			res := sys.Access(tm, c, line, false)
+			wb := s.L1.Fill(c, line, false, false)
+			if wb.Valid {
+				sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+			}
+			tm = res.Done
+		}
+		// Count helping blocks resident in core 0's banks.
+		lo, hi := s.Map.PrivateBanks(0)
+		n := 0
+		for b := lo; b < hi; b++ {
+			for si := 0; si < s.Bank[b].Sets(); si++ {
+				n += s.Bank[b].Set(si).HelpCount
+			}
+		}
+		return n
+	}
+	lat := helpingIn(core.Latency)
+	bulk := helpingIn(core.Bulk)
+	if bulk < lat {
+		t.Fatalf("bulk-class bank holds %d helping blocks, latency-class %d; want bulk >= latency", bulk, lat)
+	}
+}
+
+// --- Victim Replication ---
+
+func TestVRReplicatesOnRemoteHomeEviction(t *testing.T) {
+	sys := build(t, "victim-replication").(*VictimReplication)
+	s := sys.Sub()
+	// Find a line whose home bank is remote to core 0.
+	var line mem.Line
+	for l := mem.Line(0); ; l++ {
+		hb, _ := s.Map.Shared(l)
+		if s.NodeOfBank(hb) != s.NodeOfCore(0) {
+			line = l
+			break
+		}
+	}
+	r := sys.Access(0, 0, line, false)
+	s.L1.Fill(0, line, false, false)
+	s.L1.Invalidate(0, line)
+	sys.WriteBack(r.Done, 0, line, false)
+	if sys.ReplicasMade == 0 {
+		t.Fatal("no replica made on remote-homed eviction")
+	}
+	// Re-access: local replica hit.
+	r2 := sys.Access(r.Done+100, 0, line, false)
+	if r2.Level != LocalL2 {
+		t.Fatalf("post-VR access = %v, want LocalL2", r2.Level)
+	}
+	if sys.ReplicaHits == 0 {
+		t.Fatal("replica hit not counted")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVRNoReplicaForLocalHome(t *testing.T) {
+	sys := build(t, "victim-replication").(*VictimReplication)
+	s := sys.Sub()
+	var line mem.Line
+	for l := mem.Line(0); ; l++ {
+		hb, _ := s.Map.Shared(l)
+		if s.NodeOfBank(hb) == s.NodeOfCore(0) {
+			line = l
+			break
+		}
+	}
+	r := sys.Access(0, 0, line, false)
+	s.L1.Fill(0, line, false, false)
+	s.L1.Invalidate(0, line)
+	sys.WriteBack(r.Done, 0, line, false)
+	if sys.ReplicasMade != 0 {
+		t.Fatal("replica made despite local home")
+	}
+}
+
+func TestVRWriteKillsReplica(t *testing.T) {
+	sys := build(t, "victim-replication").(*VictimReplication)
+	s := sys.Sub()
+	var line mem.Line
+	for l := mem.Line(0); ; l++ {
+		hb, _ := s.Map.Shared(l)
+		if s.NodeOfBank(hb) != s.NodeOfCore(0) {
+			line = l
+			break
+		}
+	}
+	r := sys.Access(0, 0, line, false)
+	s.L1.Fill(0, line, false, false)
+	s.L1.Invalidate(0, line)
+	sys.WriteBack(r.Done, 0, line, false)
+	// A remote write must invalidate the replica too.
+	sys.Access(r.Done+100, 5, line, true)
+	pbank, _ := s.Map.Private(line, 0)
+	if _, ok := s.l2Find(line, pbank); ok {
+		t.Fatal("stale replica survived a remote GETX")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVRUnderRandomTraffic(t *testing.T) {
+	cfg := testConfig()
+	sys, err := NewVictimReplication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Sub()
+	rng := sim.NewRNG(31)
+	var tm sim.Cycle
+	for op := 0; op < 4000; op++ {
+		c := rng.Intn(8)
+		line := mem.Line(rng.Intn(1024))
+		write := rng.Bool(0.3)
+		if s.L1.Lookup(c, line, write, false) {
+			continue
+		}
+		res := sys.Access(tm, c, line, write)
+		wb := s.L1.Fill(c, line, write, false)
+		if wb.Valid {
+			sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+		}
+		tm = res.Done
+		if op%512 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Build constructs an architecture by name. Recognized names:
+//
+//	shared          Static-NUCA baseline
+//	private         Tiled private baseline
+//	sp-nuca         SP-NUCA with flat LRU (paper's choice)
+//	sp-nuca-shadow  SP-NUCA with shadow-tag partitioning (Fig. 4)
+//	sp-nuca-static  SP-NUCA with a static 12+4 partition (Fig. 4)
+//	esp-nuca-flat   ESP-NUCA with flat LRU (Fig. 5 baseline)
+//	esp-nuca        ESP-NUCA with protected LRU (the proposal)
+//	esp-nuca-qos    ESP-NUCA with per-priority d (S5.2 future work)
+//	d-nuca          idealized-perfect-search D-NUCA
+//	asr             Adaptive Selective Replication
+//	cc              Cooperative Caching (cfg.CCProbability)
+//	victim-replication  Zhang & Asanovic's VR (bonus counterpart)
+//	r-nuca          Hardavellas et al.'s Reactive-NUCA (bonus counterpart)
+func Build(name string, cfg Config) (System, error) {
+	switch name {
+	case "shared":
+		return NewSharedNUCA(cfg)
+	case "private":
+		return NewTiled(cfg)
+	case "sp-nuca":
+		return NewSPNUCA(cfg, FlatLRUPartition)
+	case "sp-nuca-shadow":
+		return NewSPNUCA(cfg, ShadowTagPartition)
+	case "sp-nuca-static":
+		return NewSPNUCA(cfg, StaticPartitionKind)
+	case "esp-nuca-flat":
+		return NewESPNUCA(cfg, false)
+	case "esp-nuca":
+		return NewESPNUCA(cfg, true)
+	case "d-nuca":
+		return NewDNUCA(cfg)
+	case "asr":
+		return NewASR(cfg)
+	case "cc":
+		return NewCC(cfg)
+	case "esp-nuca-qos":
+		return NewESPNUCAQoS(cfg, cfg.QoS)
+	case "victim-replication":
+		return NewVictimReplication(cfg)
+	case "r-nuca":
+		return NewRNUCA(cfg)
+	}
+	return nil, fmt.Errorf("arch: unknown architecture %q (known: %v)", name, Names())
+}
+
+// Names returns every buildable architecture name, sorted.
+func Names() []string {
+	names := []string{
+		"shared", "private", "sp-nuca", "sp-nuca-shadow", "sp-nuca-static",
+		"esp-nuca-flat", "esp-nuca", "esp-nuca-qos", "d-nuca", "asr", "cc",
+		"victim-replication", "r-nuca",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,121 @@
+package arch
+
+import (
+	"testing"
+
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+)
+
+func TestRNUCAPrivatePagePlacesLocally(t *testing.T) {
+	sys := build(t, "r-nuca").(*RNUCA)
+	s := sys.Sub()
+	r := sys.Access(0, 3, 100, false)
+	if r.Level != OffChip {
+		t.Fatalf("cold = %v", r.Level)
+	}
+	// The block must sit in core 3's slice (private-page placement).
+	pbank, _ := s.Map.Private(100, 3)
+	if _, ok := s.l2Find(100, pbank); !ok {
+		t.Fatal("private-page fill not in owner's slice")
+	}
+	r2 := sys.Access(r.Done, 3, 100, false)
+	if r2.Level != LocalL2 {
+		t.Fatalf("owner re-access = %v, want LocalL2", r2.Level)
+	}
+}
+
+func TestRNUCAReclassifiesWholePage(t *testing.T) {
+	sys := build(t, "r-nuca").(*RNUCA)
+	s := sys.Sub()
+	// Core 0 touches two lines of the same 64-line page.
+	r := sys.Access(0, 0, 64, false)
+	r2 := sys.Access(r.Done, 0, 65, false)
+	// Core 5 touches one line: the whole page flips to shared.
+	r3 := sys.Access(r2.Done, 5, 64, false)
+	if sys.Reclassifications != 1 {
+		t.Fatalf("Reclassifications = %d", sys.Reclassifications)
+	}
+	// The old private placements are flushed; refills go to home banks.
+	pbank, _ := s.Map.Private(65, 0)
+	if _, ok := s.l2Find(65, pbank); ok {
+		t.Fatal("stale private placement after page reclassification")
+	}
+	// Drop the line from every L1 (otherwise the next access is a
+	// perfectly legal L1-to-L1 intervention) and re-touch.
+	for c := 0; c < 8; c++ {
+		s.L1.Invalidate(c, 65)
+		s.Dir.L1Evict(65, c, false)
+	}
+	r4 := sys.Access(r3.Done, 5, 65, false)
+	if r4.Level != OffChip {
+		t.Fatalf("post-flush access = %v, want OffChip", r4.Level)
+	}
+	hbank, _ := s.Map.Shared(65)
+	if _, ok := s.l2Find(65, hbank); !ok {
+		t.Fatal("post-reclassification fill not at home bank")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNUCAInstructionPagesStayLocal(t *testing.T) {
+	sys := build(t, "r-nuca").(*RNUCA)
+	// Mark the page as an instruction page via classification, then have
+	// two cores touch it: no reclassification (instruction pages
+	// replicate rather than shared-ify).
+	p := sys.classify(128, 0, true)
+	if !p.instr {
+		t.Fatal("ifetch did not mark instruction page")
+	}
+	sys.classify(128, 5, false)
+	if p.shared {
+		t.Fatal("instruction page flipped to shared")
+	}
+	if sys.Reclassifications != 0 {
+		t.Fatalf("Reclassifications = %d", sys.Reclassifications)
+	}
+	// Placement for each core is its own slice.
+	b0, _ := sys.placement(128, 0, p)
+	b5, _ := sys.placement(128, 5, p)
+	if sys.Sub().Map.CoreOfBank(b0) != 0 || sys.Sub().Map.CoreOfBank(b5) != 5 {
+		t.Fatalf("instruction placements %d,%d not per-cluster", b0, b5)
+	}
+}
+
+func TestRNUCAUnderRandomTraffic(t *testing.T) {
+	cfg := testConfig()
+	sys, err := NewRNUCA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys.Sub()
+	rng := sim.NewRNG(17)
+	var tm sim.Cycle
+	for op := 0; op < 4000; op++ {
+		c := rng.Intn(8)
+		line := mem.Line(rng.Intn(2048))
+		write := rng.Bool(0.3)
+		if s.L1.Lookup(c, line, write, false) {
+			continue
+		}
+		res := sys.Access(tm, c, line, write)
+		wb := s.L1.Fill(c, line, write, false)
+		if wb.Valid {
+			sys.WriteBack(res.Done, c, wb.Line, wb.Dirty)
+		}
+		tm = res.Done
+		if op%512 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if sys.Reclassifications == 0 {
+		t.Fatal("random multi-core traffic never reclassified a page")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

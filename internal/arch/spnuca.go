@@ -1,0 +1,356 @@
+package arch
+
+import (
+	"fmt"
+
+	"espnuca/internal/cache"
+	"espnuca/internal/coherence"
+	"espnuca/internal/mem"
+	"espnuca/internal/noc"
+	"espnuca/internal/sim"
+)
+
+// PartitionKind selects how SP-NUCA arbitrates private vs shared ways
+// within a set (paper Figure 4).
+type PartitionKind int
+
+// Partitioning variants.
+const (
+	// FlatLRUPartition is the paper's choice: plain LRU over the whole
+	// set, letting recency allocate ways between classes.
+	FlatLRUPartition PartitionKind = iota
+	// ShadowTagPartition uses per-set shadow tags (Suh/Dybdahl style), a
+	// more accurate but costlier monitor.
+	ShadowTagPartition
+	// StaticPartitionKind reserves a fixed private/shared split
+	// (paper: 12+4).
+	StaticPartitionKind
+)
+
+// SPNUCA implements the Shared Private-NUCA of paper §2: one private bit
+// per block, dual address interpretation, probe chain private bank ->
+// shared home bank -> other private banks -> memory (Figure 2b), with
+// migration of discovered remote-private blocks to their home bank.
+type SPNUCA struct {
+	s    *Substrate
+	kind PartitionKind
+	// policy per bank (shadow policies hold per-bank state).
+	pol []cache.Policy
+	// shadow is non-nil for ShadowTagPartition, indexed by bank.
+	shadow []*cache.ShadowPolicy
+
+	// sample, when set (by ESP-NUCA), feeds the per-bank hit-rate
+	// estimators on every access to a sampled set.
+	sample func(bank, set int, firstClassHit bool)
+
+	// Migrations counts private->shared home migrations.
+	Migrations uint64
+}
+
+// NewSPNUCA builds SP-NUCA with the given partitioning variant.
+func NewSPNUCA(cfg Config, kind PartitionKind) (*SPNUCA, error) {
+	s, err := NewSubstrate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &SPNUCA{s: s, kind: kind}
+	for b := 0; b < cfg.Banks; b++ {
+		switch kind {
+		case FlatLRUPartition:
+			a.pol = append(a.pol, cache.FlatLRU{})
+		case ShadowTagPartition:
+			sp := cache.NewShadowPolicy(cfg.SetsPerBank, 8)
+			a.shadow = append(a.shadow, sp)
+			a.pol = append(a.pol, sp)
+		case StaticPartitionKind:
+			a.pol = append(a.pol, cache.StaticPartition{PrivateWays: cfg.StaticPrivateWays})
+		default:
+			return nil, fmt.Errorf("arch: unknown partition kind %d", kind)
+		}
+	}
+	return a, nil
+}
+
+// Name implements System.
+func (a *SPNUCA) Name() string {
+	switch a.kind {
+	case ShadowTagPartition:
+		return "sp-nuca-shadow"
+	case StaticPartitionKind:
+		return "sp-nuca-static"
+	}
+	return "sp-nuca"
+}
+
+// Sub implements System.
+func (a *SPNUCA) Sub() *Substrate { return a.s }
+
+// Access implements System with the Figure 2b probe chain.
+func (a *SPNUCA) Access(at sim.Cycle, c int, line mem.Line, write bool) Result {
+	t, level := a.resolve(at, c, line, write, nil)
+	a.s.record(level, at, t)
+	return Result{Done: t, Level: level}
+}
+
+// espHooks lets ESP-NUCA extend the probe chain (replica lookup/creation
+// and victim hits) without duplicating it.
+type espHooks struct {
+	// privateMatch widens the step-1 match (replicas).
+	privateMatch func(line mem.Line, c int) cache.Match
+	// homeMatch widens the step-2 match (victims).
+	homeMatch func(line mem.Line) cache.Match
+	// onHomeHit runs after a home-bank hit is served (replica creation,
+	// victim reclassification). blk is the resident block.
+	onHomeHit func(t sim.Cycle, c int, line mem.Line, bank, set int, blk *cache.Block)
+	// policyFor returns the replacement policy for a bank.
+	policyFor func(bank int) cache.Policy
+	// espOwner routes evictions through ESP-NUCA's victim mechanism.
+	espOwner *ESPNUCA
+}
+
+func (a *SPNUCA) policyFor(bank int) cache.Policy { return a.pol[bank] }
+
+// resolve walks the SP-NUCA probe chain; hooks may be nil (plain SP-NUCA).
+func (a *SPNUCA) resolve(at sim.Cycle, c int, line mem.Line, write bool, h *espHooks) (sim.Cycle, Level) {
+	s := a.s
+	if write {
+		if res, ok := s.Upgrade(at, c, line); ok {
+			// record() is the caller's job; undo the double count by
+			// returning the level directly.
+			return res.Done, res.Level
+		}
+	}
+	reqNode := s.NodeOfCore(c)
+	shared, _ := s.statusOf(line, c)
+	st := s.Dir.State(line)
+
+	finishRead := func(t sim.Cycle) sim.Cycle { s.Dir.GrantReadL1(line, c); return t }
+	finishWrite := func(t sim.Cycle, via noc.NodeID) sim.Cycle {
+		if ack := s.collectForWrite(t, via, c, line); ack > t {
+			return ack
+		}
+		return t
+	}
+	finish := func(t sim.Cycle, via noc.NodeID) sim.Cycle {
+		if write {
+			return finishWrite(t, via)
+		}
+		return finishRead(t)
+	}
+
+	// Step 1: the requester's private bank (same router: no hops).
+	pbank, pset := s.Map.Private(line, c)
+	pmatch := cache.MatchClass(line, cache.Private)
+	if h != nil && h.privateMatch != nil {
+		pmatch = h.privateMatch(line, c)
+	}
+	pblk := s.Bank[pbank].Lookup(pset, pmatch)
+	a.observeSample(pbank, pset, pblk != nil && pblk.Class.FirstClass())
+	if pblk != nil && !ownedByRemoteL1(st, c) {
+		t := s.Bank[pbank].Access(at)
+		return finish(t, reqNode), LocalL2
+	}
+	if a.shadow != nil && pblk == nil && !shared {
+		a.shadow[pbank].OnMiss(pset, line, cache.Private)
+	}
+	t := s.Bank[pbank].TagProbe(at)
+
+	// Step 2: forward to the shared home bank (and, in parallel, notify
+	// the memory controller - modelled by starting the DRAM fetch from
+	// this same cycle if it ends up being needed).
+	memStart := t
+	hbank, hset := s.Map.Shared(line)
+	homeNode := s.NodeOfBank(hbank)
+	t = s.Mesh.Send(t, reqNode, homeNode, noc.Control, 0)
+
+	hmatch := cache.MatchClass(line, cache.Shared)
+	if h != nil && h.homeMatch != nil {
+		hmatch = h.homeMatch(line)
+	}
+	hblk := s.Bank[hbank].Lookup(hset, hmatch)
+	a.observeSample(hbank, hset, hblk != nil && hblk.Class.FirstClass())
+
+	level := SharedL2
+	if homeNode == reqNode {
+		level = LocalL2
+	}
+	switch {
+	case hblk != nil && ownedByRemoteL1(st, c):
+		// Stale home copy: forward to the owning L1 (step 3 of Fig 2b).
+		t = s.Bank[hbank].TagProbe(t)
+		t = s.l1Intervention(t, homeNode, int(st.Owner-coherence.HolderL1), c)
+		return finish(t, homeNode), RemoteL1
+	case hblk != nil:
+		t = s.Bank[hbank].Access(t)
+		done := s.Mesh.Send(t, homeNode, reqNode, noc.Data, s.Cfg.BlockBytes)
+		if h != nil && h.onHomeHit != nil {
+			h.onHomeHit(t, c, line, hbank, hset, hblk)
+		}
+		return finish(done, homeNode), level
+	}
+	if a.shadow != nil && shared {
+		a.shadow[hbank].OnMiss(hset, line, cache.Shared)
+	}
+	t = s.Bank[hbank].TagProbe(t)
+
+	// Step 3': the block may be private in another core's bank. The home
+	// bank forwards the request to the other private banks.
+	if owner, obank, oset, ok := a.findRemotePrivate(line, c); ok {
+		probe := s.Mesh.Send(t, homeNode, s.NodeOfBank(obank), noc.Control, 0)
+		probe = s.Bank[obank].Access(probe)
+		done := s.Mesh.Send(probe, s.NodeOfBank(obank), reqNode, noc.Data, s.Cfg.BlockBytes)
+		a.migrateToHome(probe, line, owner, obank, oset, hbank, hset, h)
+		return finish(done, homeNode), RemoteL2
+	}
+
+	// Step 3: L1-only holders (line fell out of L2 but lives in an L1).
+	if st.Sharers()&^(1<<uint(c)) != 0 {
+		holder := nearestSharer(s, st, c)
+		if holder != c {
+			done := s.l1Intervention(t, homeNode, holder, c)
+			// A second core is touching the line: it is shared now.
+			s.markShared(line)
+			return finish(done, homeNode), RemoteL1
+		}
+	}
+
+	// Memory: the fetch was launched in parallel with step 2 (paper
+	// Figure 2b message 2 goes to both home bank and memory controller).
+	done := s.memFetch(memStart, reqNode, line)
+	if done < t {
+		done = t // the on-chip miss confirmation must arrive too
+	}
+	if !write {
+		// A block arriving from memory has its private bit set and is
+		// stored in the bank closest to its only user (paper §2.1) -
+		// unless it is already known shared, in which case it fills home.
+		s.Dir.L2Fill(line, coherence.TokensPerLine)
+		pol := a.policyFor
+		if h != nil && h.policyFor != nil {
+			pol = h.policyFor
+		}
+		if shared {
+			ev := s.l2Insert(hbank, hset, cache.Block{
+				Valid: true, Line: line, Class: cache.Shared, Owner: -1,
+			}, pol(hbank))
+			a.routeEviction(done, ev, hbank, h)
+		} else {
+			ev := s.l2Insert(pbank, pset, cache.Block{
+				Valid: true, Line: line, Class: cache.Private, Owner: c,
+			}, pol(pbank))
+			a.routeEviction(done, ev, pbank, h)
+		}
+	}
+	return finish(done, homeNode), OffChip
+}
+
+// observeSample feeds ESP-NUCA's sampler when installed; plain SP-NUCA
+// has none.
+func (a *SPNUCA) observeSample(bank, set int, firstClassHit bool) {
+	if a.sample != nil {
+		a.sample(bank, set, firstClassHit)
+	}
+}
+
+// findRemotePrivate locates a private copy of line in another core's
+// partition.
+func (a *SPNUCA) findRemotePrivate(line mem.Line, c int) (owner, bank, set int, ok bool) {
+	for _, loc := range a.s.l2Has(line) {
+		if loc.class != cache.Private {
+			continue
+		}
+		o := a.s.Map.CoreOfBank(loc.bank)
+		if o != c {
+			return o, loc.bank, loc.set, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// migrateToHome resets the private bit and moves the block to its shared
+// home bank (paper §2.3): further accesses hit in the shared bank.
+func (a *SPNUCA) migrateToHome(at sim.Cycle, line mem.Line, owner, obank, oset, hbank, hset int, h *espHooks) {
+	s := a.s
+	blk, ok := s.l2Invalidate(line, obank, oset)
+	if !ok {
+		return
+	}
+	a.Migrations++
+	s.markShared(line)
+	pol := a.policyFor
+	if h != nil && h.policyFor != nil {
+		pol = h.policyFor
+	}
+	ev := s.l2Insert(hbank, hset, cache.Block{
+		Valid: true, Line: line, Class: cache.Shared, Owner: -1, Dirty: blk.Dirty,
+	}, pol(hbank))
+	a.routeEviction(at, ev, hbank, h)
+}
+
+// routeEviction applies the default eviction fate; ESP-NUCA's hooks turn
+// evicted private blocks into victims instead (see espnuca.go).
+func (a *SPNUCA) routeEviction(at sim.Cycle, ev cache.Evicted, fromBank int, h *espHooks) {
+	if esp, ok := a.owner(h); ok {
+		esp.routeEviction(at, ev, fromBank)
+		return
+	}
+	a.s.dropEvicted(at, ev, fromBank)
+}
+
+// owner resolves the ESP-NUCA wrapper when hooks are present.
+func (a *SPNUCA) owner(h *espHooks) (*ESPNUCA, bool) {
+	if h == nil || h.espOwner == nil {
+		return nil, false
+	}
+	return h.espOwner, true
+}
+
+// WriteBack implements System: L1 evictions follow the private bit
+// (private blocks to the private bank, shared blocks to the home bank);
+// clean evictions allocate too, keeping recently-used blocks on chip.
+func (a *SPNUCA) WriteBack(at sim.Cycle, c int, line mem.Line, dirty bool) {
+	a.writeBack(at, c, line, dirty, nil)
+}
+
+func (a *SPNUCA) writeBack(at sim.Cycle, c int, line mem.Line, dirty bool, h *espHooks) {
+	s := a.s
+	shared, _, known := s.peekStatus(line)
+	s.Dir.L1Evict(line, c, true)
+	pol := a.policyFor
+	if h != nil && h.policyFor != nil {
+		pol = h.policyFor
+	}
+	markDirty := func() {
+		if dirty {
+			s.Dir.WriteBackDirty(line)
+		}
+	}
+	if known && shared {
+		hbank, hset := s.Map.Shared(line)
+		t := s.Mesh.Send(at, s.NodeOfCore(c), s.NodeOfBank(hbank), noc.Data, s.Cfg.BlockBytes)
+		t = s.Bank[hbank].Access(t)
+		if _, ok := s.l2Find(line, hbank); ok {
+			markDirty()
+			return
+		}
+		ev := s.l2Insert(hbank, hset, cache.Block{
+			Valid: true, Line: line, Class: cache.Shared, Owner: -1, Dirty: dirty,
+		}, pol(hbank))
+		markDirty()
+		a.routeEviction(t, ev, hbank, h)
+		return
+	}
+	pbank, pset := s.Map.Private(line, c)
+	t := s.Bank[pbank].Access(at)
+	if _, ok := s.l2Find(line, pbank); ok {
+		markDirty()
+		return
+	}
+	ev := s.l2Insert(pbank, pset, cache.Block{
+		Valid: true, Line: line, Class: cache.Private, Owner: c, Dirty: dirty,
+	}, pol(pbank))
+	markDirty()
+	a.routeEviction(t, ev, pbank, h)
+}
+
+var _ System = (*SPNUCA)(nil)

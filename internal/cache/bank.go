@@ -1,0 +1,331 @@
+package cache
+
+import (
+	"fmt"
+
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+)
+
+// SetRole classifies a set for the ESP-NUCA set-sampling mechanism (paper
+// §3.2). Conventional sets accept up to nmax helping blocks; Reference
+// sets refuse all helping blocks; Explorer sets accept nmax+1.
+type SetRole uint8
+
+const (
+	Conventional SetRole = iota
+	Reference
+	Explorer
+)
+
+// String implements fmt.Stringer.
+func (r SetRole) String() string {
+	switch r {
+	case Conventional:
+		return "conventional"
+	case Reference:
+		return "reference"
+	case Explorer:
+		return "explorer"
+	}
+	return fmt.Sprintf("SetRole(%d)", uint8(r))
+}
+
+// Set is one congruence class of a bank.
+type Set struct {
+	Blocks []Block
+	// HelpCount is the per-set counter n of currently stored helping
+	// blocks (paper §3.2: log2(w) bits of real hardware state).
+	HelpCount int
+	Role      SetRole
+	// Sampled marks sets whose first-class hit rate feeds one of the
+	// bank's EMA estimators.
+	Sampled bool
+}
+
+// recount returns the true number of valid helping blocks; used to check
+// the HelpCount invariant.
+func (s *Set) recount() int {
+	n := 0
+	for i := range s.Blocks {
+		if s.Blocks[i].Valid && s.Blocks[i].Class.Helping() {
+			n++
+		}
+	}
+	return n
+}
+
+// Config describes one L2 bank.
+type Config struct {
+	Sets, Ways int
+	// Latency is the full (sequential tag+data) access latency; TagLatency
+	// is the tag-only portion (paper Table 2: 5 and 2 cycles).
+	Latency, TagLatency sim.Cycle
+}
+
+// Stats aggregates per-bank counters used by the experiment harness.
+type Stats struct {
+	Lookups     uint64
+	Hits        uint64
+	Misses      uint64
+	Inserts     uint64
+	Evictions   uint64
+	HelpEvicted uint64 // evictions where the victim was a helping block
+	HelpRefused uint64 // helping-block inserts refused by policy
+}
+
+// Bank is one NUCA bank: a tag/data array plus a port that serializes
+// accesses (sequential-access banks service one operation at a time).
+type Bank struct {
+	cfg   Config
+	sets  []Set
+	clock uint64
+	port  *sim.Resource
+
+	// Stats is exported for the harness; it has no behaviourial role.
+	Stats Stats
+}
+
+// NewBank builds a bank; Sets and Ways must be positive.
+func NewBank(cfg Config) (*Bank, error) {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry %d sets x %d ways", cfg.Sets, cfg.Ways)
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 5
+	}
+	if cfg.TagLatency == 0 {
+		cfg.TagLatency = 2
+	}
+	b := &Bank{cfg: cfg, port: sim.NewResource(sim.Cycle(cfg.Latency))}
+	b.sets = make([]Set, cfg.Sets)
+	blocks := make([]Block, cfg.Sets*cfg.Ways)
+	for i := range b.sets {
+		b.sets[i].Blocks = blocks[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return b, nil
+}
+
+// Config returns the bank geometry.
+func (b *Bank) Config() Config { return b.cfg }
+
+// Sets returns the number of sets.
+func (b *Bank) Sets() int { return len(b.sets) }
+
+// Ways returns the associativity.
+func (b *Bank) Ways() int { return b.cfg.Ways }
+
+// Set returns set idx for policies, sampling setup and tests.
+func (b *Bank) Set(idx int) *Set { return &b.sets[idx] }
+
+// Access claims the bank port for a full access arriving at cycle at and
+// returns the completion cycle.
+func (b *Bank) Access(at sim.Cycle) sim.Cycle {
+	return b.port.Claim(at) + b.cfg.Latency
+}
+
+// TagProbe claims the bank port for a tag-only probe (miss detection)
+// arriving at cycle at and returns its completion cycle.
+func (b *Bank) TagProbe(at sim.Cycle) sim.Cycle {
+	return b.port.ClaimFor(at, b.cfg.TagLatency) + b.cfg.TagLatency
+}
+
+// Match is a tag-comparison predicate. The private bit and owner take part
+// in the comparison exactly as the widened tags do in hardware, so each
+// architecture supplies its own matching rule.
+type Match func(*Block) bool
+
+// MatchLine matches any valid block holding the line regardless of class.
+func MatchLine(l mem.Line) Match {
+	return func(blk *Block) bool { return blk.Line == l }
+}
+
+// MatchClass matches the line only in the given classes.
+func MatchClass(l mem.Line, classes ...Class) Match {
+	return func(blk *Block) bool {
+		if blk.Line != l {
+			return false
+		}
+		for _, c := range classes {
+			if blk.Class == c {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Lookup searches set idx for a block satisfying m and, on a hit, updates
+// its LRU position. It returns the block (nil on miss).
+func (b *Bank) Lookup(idx int, m Match) *Block {
+	b.Stats.Lookups++
+	set := &b.sets[idx]
+	for i := range set.Blocks {
+		blk := &set.Blocks[i]
+		if blk.Valid && m(blk) {
+			b.clock++
+			blk.lastUse = b.clock
+			b.Stats.Hits++
+			return blk
+		}
+	}
+	b.Stats.Misses++
+	return nil
+}
+
+// Peek searches without touching LRU state or statistics.
+func (b *Bank) Peek(idx int, m Match) *Block {
+	set := &b.sets[idx]
+	for i := range set.Blocks {
+		blk := &set.Blocks[i]
+		if blk.Valid && m(blk) {
+			return blk
+		}
+	}
+	return nil
+}
+
+// Policy chooses replacement victims. It returns the way to evict for an
+// incoming block of class incoming, or -1 to refuse the insertion (legal
+// only for helping blocks: a reference set refuses all of them).
+type Policy interface {
+	PickVictim(b *Bank, setIdx int, incoming Class) int
+}
+
+// Evicted describes a block displaced by Insert.
+type Evicted struct {
+	Block Block
+	// Valid is false when the insertion filled an empty way or was
+	// refused.
+	Valid bool
+	// Refused is true when the policy rejected the insertion entirely.
+	Refused bool
+}
+
+// Insert places a new block into set idx using pol to choose the victim.
+// It keeps the per-set helping counter consistent and returns the evicted
+// block, if any.
+func (b *Bank) Insert(idx int, nb Block, pol Policy) Evicted {
+	if !nb.Valid {
+		panic("cache: inserting invalid block")
+	}
+	set := &b.sets[idx]
+	// Prefer an empty way; no eviction needed.
+	for i := range set.Blocks {
+		if !set.Blocks[i].Valid {
+			b.place(set, i, nb)
+			return Evicted{}
+		}
+	}
+	way := pol.PickVictim(b, idx, nb.Class)
+	if way < 0 {
+		if !nb.Class.Helping() {
+			panic("cache: policy refused a first-class block")
+		}
+		b.Stats.HelpRefused++
+		return Evicted{Refused: true}
+	}
+	old := set.Blocks[way]
+	b.Stats.Evictions++
+	if old.Class.Helping() {
+		b.Stats.HelpEvicted++
+		set.HelpCount--
+	}
+	b.place(set, way, nb)
+	return Evicted{Block: old, Valid: true}
+}
+
+func (b *Bank) place(set *Set, way int, nb Block) {
+	b.clock++
+	nb.lastUse = b.clock
+	set.Blocks[way] = nb
+	b.Stats.Inserts++
+	if nb.Class.Helping() {
+		set.HelpCount++
+	}
+}
+
+// Invalidate removes the first block matching m from set idx and returns
+// it (Valid=false result if absent).
+func (b *Bank) Invalidate(idx int, m Match) (Block, bool) {
+	set := &b.sets[idx]
+	for i := range set.Blocks {
+		blk := &set.Blocks[i]
+		if blk.Valid && m(blk) {
+			old := *blk
+			if blk.Class.Helping() {
+				set.HelpCount--
+			}
+			blk.Valid = false
+			return old, true
+		}
+	}
+	return Block{}, false
+}
+
+// Reclass changes the class of a resident block in place, maintaining the
+// helping counter. It returns false if no block matches m.
+func (b *Bank) Reclass(idx int, m Match, to Class, owner int) bool {
+	set := &b.sets[idx]
+	for i := range set.Blocks {
+		blk := &set.Blocks[i]
+		if blk.Valid && m(blk) {
+			if blk.Class.Helping() {
+				set.HelpCount--
+			}
+			blk.Class = to
+			blk.Owner = owner
+			if to.Helping() {
+				set.HelpCount++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// LRUWay returns the least-recently-used way among those satisfying filter
+// (nil filter = all valid ways), or -1 if none qualifies.
+func (b *Bank) LRUWay(idx int, filter func(*Block) bool) int {
+	set := &b.sets[idx]
+	best, bestUse := -1, uint64(0)
+	for i := range set.Blocks {
+		blk := &set.Blocks[i]
+		if !blk.Valid {
+			continue
+		}
+		if filter != nil && !filter(blk) {
+			continue
+		}
+		if best == -1 || blk.lastUse < bestUse {
+			best, bestUse = i, blk.lastUse
+		}
+	}
+	return best
+}
+
+// CheckInvariants verifies internal consistency (helping counters, no
+// duplicate first-class tags). Tests and debug builds call it; it returns
+// a descriptive error on the first violation.
+func (b *Bank) CheckInvariants() error {
+	for si := range b.sets {
+		set := &b.sets[si]
+		if got := set.recount(); got != set.HelpCount {
+			return fmt.Errorf("cache: set %d helping counter %d, actual %d", si, set.HelpCount, got)
+		}
+		seen := map[mem.Line][]Class{}
+		for i := range set.Blocks {
+			blk := &set.Blocks[i]
+			if !blk.Valid {
+				continue
+			}
+			for _, c := range seen[blk.Line] {
+				if c == blk.Class {
+					return fmt.Errorf("cache: set %d holds duplicate %v copies of line %#x", si, c, blk.Line)
+				}
+			}
+			seen[blk.Line] = append(seen[blk.Line], blk.Class)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+)
+
+func mustBank(t *testing.T, sets, ways int) *Bank {
+	t.Helper()
+	b, err := NewBank(Config{Sets: sets, Ways: ways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func blk(line mem.Line, c Class, owner int) Block {
+	return Block{Valid: true, Line: line, Class: c, Owner: owner}
+}
+
+func TestNewBankValidation(t *testing.T) {
+	if _, err := NewBank(Config{Sets: 0, Ways: 4}); err == nil {
+		t.Error("zero sets accepted")
+	}
+	if _, err := NewBank(Config{Sets: 4, Ways: -1}); err == nil {
+		t.Error("negative ways accepted")
+	}
+	b := mustBank(t, 8, 4)
+	if b.Sets() != 8 || b.Ways() != 4 {
+		t.Fatalf("geometry = %dx%d", b.Sets(), b.Ways())
+	}
+	if b.Config().Latency != 5 || b.Config().TagLatency != 2 {
+		t.Fatalf("default latencies = %d/%d, want 5/2", b.Config().Latency, b.Config().TagLatency)
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	b := mustBank(t, 4, 4)
+	ev := b.Insert(1, blk(100, Private, 3), FlatLRU{})
+	if ev.Valid || ev.Refused {
+		t.Fatalf("insert into empty set evicted: %+v", ev)
+	}
+	got := b.Lookup(1, MatchLine(100))
+	if got == nil || got.Owner != 3 || got.Class != Private {
+		t.Fatalf("Lookup = %+v", got)
+	}
+	if b.Lookup(1, MatchLine(101)) != nil {
+		t.Fatal("lookup of absent line hit")
+	}
+	if b.Lookup(2, MatchLine(100)) != nil {
+		t.Fatal("lookup in wrong set hit")
+	}
+	if b.Stats.Hits != 1 || b.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v", b.Stats)
+	}
+}
+
+func TestMatchClassSelectivity(t *testing.T) {
+	b := mustBank(t, 1, 4)
+	b.Insert(0, blk(7, Private, 0), FlatLRU{})
+	b.Insert(0, blk(7, Shared, -1), FlatLRU{})
+	if got := b.Lookup(0, MatchClass(7, Shared)); got == nil || got.Class != Shared {
+		t.Fatalf("shared lookup = %+v", got)
+	}
+	if got := b.Lookup(0, MatchClass(7, Private)); got == nil || got.Class != Private {
+		t.Fatalf("private lookup = %+v", got)
+	}
+	if got := b.Lookup(0, MatchClass(7, Victim, Replica)); got != nil {
+		t.Fatalf("helping lookup hit a first-class block: %+v", got)
+	}
+}
+
+func TestFlatLRUEvictsOldest(t *testing.T) {
+	b := mustBank(t, 1, 2)
+	b.Insert(0, blk(1, Private, 0), FlatLRU{})
+	b.Insert(0, blk(2, Private, 0), FlatLRU{})
+	b.Lookup(0, MatchLine(1)) // touch 1; 2 becomes LRU
+	ev := b.Insert(0, blk(3, Private, 0), FlatLRU{})
+	if !ev.Valid || ev.Block.Line != 2 {
+		t.Fatalf("evicted %+v, want line 2", ev)
+	}
+	if b.Peek(0, MatchLine(1)) == nil || b.Peek(0, MatchLine(3)) == nil {
+		t.Fatal("resident set wrong after eviction")
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	b := mustBank(t, 1, 2)
+	b.Insert(0, blk(1, Private, 0), FlatLRU{})
+	b.Insert(0, blk(2, Private, 0), FlatLRU{})
+	b.Peek(0, MatchLine(1)) // must NOT refresh line 1
+	ev := b.Insert(0, blk(3, Private, 0), FlatLRU{})
+	if !ev.Valid || ev.Block.Line != 1 {
+		t.Fatalf("evicted %+v, want line 1 (Peek must not touch LRU)", ev)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	b := mustBank(t, 1, 4)
+	b.Insert(0, blk(5, Victim, 2), FlatLRU{})
+	if b.Set(0).HelpCount != 1 {
+		t.Fatalf("HelpCount = %d, want 1", b.Set(0).HelpCount)
+	}
+	old, ok := b.Invalidate(0, MatchLine(5))
+	if !ok || old.Line != 5 {
+		t.Fatalf("Invalidate = %+v, %v", old, ok)
+	}
+	if b.Set(0).HelpCount != 0 {
+		t.Fatalf("HelpCount = %d after invalidate, want 0", b.Set(0).HelpCount)
+	}
+	if _, ok := b.Invalidate(0, MatchLine(5)); ok {
+		t.Fatal("double invalidate succeeded")
+	}
+}
+
+func TestReclassMaintainsHelpCount(t *testing.T) {
+	b := mustBank(t, 1, 4)
+	b.Insert(0, blk(5, Private, 2), FlatLRU{})
+	if !b.Reclass(0, MatchLine(5), Victim, 2) {
+		t.Fatal("Reclass failed")
+	}
+	if b.Set(0).HelpCount != 1 {
+		t.Fatalf("HelpCount = %d after private->victim, want 1", b.Set(0).HelpCount)
+	}
+	if !b.Reclass(0, MatchLine(5), Shared, -1) {
+		t.Fatal("Reclass failed")
+	}
+	if b.Set(0).HelpCount != 0 {
+		t.Fatalf("HelpCount = %d after victim->shared, want 0", b.Set(0).HelpCount)
+	}
+	if b.Reclass(0, MatchLine(99), Shared, -1) {
+		t.Fatal("Reclass of absent line succeeded")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRefusedOnlyForHelping(t *testing.T) {
+	b := mustBank(t, 1, 1)
+	b.Insert(0, blk(1, Private, 0), FlatLRU{})
+	refuse := policyFunc(func(*Bank, int, Class) int { return -1 })
+	ev := b.Insert(0, blk(2, Replica, 0), refuse)
+	if !ev.Refused {
+		t.Fatal("helping insert not refused")
+	}
+	if b.Stats.HelpRefused != 1 {
+		t.Fatalf("HelpRefused = %d", b.Stats.HelpRefused)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("refusing a first-class block did not panic")
+		}
+	}()
+	b.Insert(0, blk(3, Private, 0), refuse)
+}
+
+type policyFunc func(*Bank, int, Class) int
+
+func (f policyFunc) PickVictim(b *Bank, s int, c Class) int { return f(b, s, c) }
+
+func TestBankPortSerializes(t *testing.T) {
+	b := mustBank(t, 4, 4)
+	first := b.Access(0)
+	second := b.Access(0)
+	if first != 5 || second != 10 {
+		t.Fatalf("accesses complete at %d,%d; want 5,10", first, second)
+	}
+	tp := b.TagProbe(20)
+	if tp != 22 {
+		t.Fatalf("tag probe completes at %d, want 22", tp)
+	}
+}
+
+func TestLRUWayFilter(t *testing.T) {
+	b := mustBank(t, 1, 3)
+	b.Insert(0, blk(1, Private, 0), FlatLRU{})
+	b.Insert(0, blk(2, Shared, -1), FlatLRU{})
+	b.Insert(0, blk(3, Victim, 1), FlatLRU{})
+	w := b.LRUWay(0, func(blk *Block) bool { return blk.Class.Helping() })
+	if w < 0 || b.Set(0).Blocks[w].Line != 3 {
+		t.Fatalf("helping LRU way = %d", w)
+	}
+	if b.LRUWay(0, func(blk *Block) bool { return blk.Class == Replica }) != -1 {
+		t.Fatal("LRUWay found nonexistent class")
+	}
+}
+
+func TestStaticPartitionHardSplit(t *testing.T) {
+	b := mustBank(t, 1, 4)
+	pol := StaticPartition{PrivateWays: 3}
+	// Fill 3 private + 1 shared.
+	b.Insert(0, blk(1, Private, 0), pol)
+	b.Insert(0, blk(2, Private, 0), pol)
+	b.Insert(0, blk(3, Private, 0), pol)
+	b.Insert(0, blk(4, Shared, -1), pol)
+	// New private block must evict a private block (partition full at 3).
+	ev := b.Insert(0, blk(5, Private, 0), pol)
+	if !ev.Valid || ev.Block.Class != Private {
+		t.Fatalf("evicted %+v, want a private block", ev)
+	}
+	// New shared block must evict the shared block (its budget is 1).
+	ev = b.Insert(0, blk(6, Shared, -1), pol)
+	if !ev.Valid || ev.Block.Class != Shared {
+		t.Fatalf("evicted %+v, want the shared block", ev)
+	}
+}
+
+func TestStaticPartitionTakesFromOtherSideWhenUnderBudget(t *testing.T) {
+	b := mustBank(t, 1, 4)
+	pol := StaticPartition{PrivateWays: 3}
+	// 4 shared blocks fill the set; shared budget is only 1.
+	for i := 1; i <= 4; i++ {
+		b.Insert(0, blk(mem.Line(i), Shared, -1), pol)
+	}
+	// A private block is under its budget (0 < 3): takes a shared way.
+	ev := b.Insert(0, blk(10, Private, 0), pol)
+	if !ev.Valid || ev.Block.Class != Shared {
+		t.Fatalf("evicted %+v, want a shared block", ev)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	b := mustBank(t, 1, 4)
+	b.Insert(0, blk(1, Replica, 0), FlatLRU{})
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("clean bank reported %v", err)
+	}
+	b.Set(0).HelpCount = 5
+	if err := b.CheckInvariants(); err == nil {
+		t.Fatal("corrupted HelpCount not detected")
+	}
+	b.Set(0).HelpCount = 1
+	// Duplicate same-class copies of one line are illegal.
+	b.Set(0).Blocks[1] = Block{Valid: true, Line: 1, Class: Replica, Owner: 0}
+	b.Set(0).HelpCount = 2
+	if err := b.CheckInvariants(); err == nil {
+		t.Fatal("duplicate copy not detected")
+	}
+}
+
+// Property: under random insert/lookup/invalidate/reclass traffic with
+// flat LRU, the helping counter invariant holds and Insert never reports
+// eviction from a set with free ways.
+func TestBankInvariantProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b, _ := NewBank(Config{Sets: 4, Ways: 4})
+		classes := []Class{Private, Shared, Replica, Victim}
+		for op := 0; op < 2000; op++ {
+			set := rng.Intn(4)
+			line := mem.Line(rng.Intn(64))
+			switch rng.Intn(4) {
+			case 0:
+				// Avoid duplicate same-class same-line copies, as the
+				// coherence layer does.
+				c := classes[rng.Intn(4)]
+				if b.Peek(set, MatchClass(line, c)) == nil {
+					b.Insert(set, blk(line, c, rng.Intn(8)), FlatLRU{})
+				}
+			case 1:
+				b.Lookup(set, MatchLine(line))
+			case 2:
+				b.Invalidate(set, MatchLine(line))
+			case 3:
+				c := classes[rng.Intn(4)]
+				if b.Peek(set, MatchClass(line, c)) == nil {
+					b.Reclass(set, MatchLine(line), c, rng.Intn(8))
+				}
+			}
+			if err := b.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowPolicyLearnsUtility(t *testing.T) {
+	p := NewShadowPolicy(1, 8)
+	b := mustBank(t, 1, 4)
+	// Fill with 2 private + 2 shared.
+	b.Insert(0, blk(1, Private, 0), p)
+	b.Insert(0, blk(2, Private, 0), p)
+	b.Insert(0, blk(3, Shared, -1), p)
+	b.Insert(0, blk(4, Shared, -1), p)
+	// Repeatedly miss on a cycling private working set one line larger
+	// than the cache: every miss re-references a just-evicted line, so
+	// private marginal utility should grow and push evictions to the
+	// shared side.
+	for i := 0; i < 40; i++ {
+		line := mem.Line(10 + i%5)
+		if b.Lookup(0, MatchClass(line, Private)) == nil {
+			p.OnMiss(0, line, Private)
+			b.Insert(0, blk(line, Private, 0), p)
+		}
+	}
+	priv, shared := p.Utility(0)
+	if priv <= shared {
+		t.Fatalf("private utility %d not above shared %d", priv, shared)
+	}
+	// With private utility dominant, a new private insert should evict
+	// from the shared side while any shared blocks remain.
+	if b.Peek(0, MatchClass(3, Shared)) != nil || b.Peek(0, MatchClass(4, Shared)) != nil {
+		ev := b.Insert(0, blk(99, Private, 0), p)
+		if !ev.Valid || sideOfTest(ev.Block.Class) != 1 {
+			t.Fatalf("evicted %+v, want a shared-side block", ev)
+		}
+	}
+}
+
+func sideOfTest(c Class) int {
+	if c == Private || c == Replica {
+		return 0
+	}
+	return 1
+}
+
+func TestShadowPolicyFallsBackAcrossSides(t *testing.T) {
+	p := NewShadowPolicy(1, 8)
+	b := mustBank(t, 1, 2)
+	b.Insert(0, blk(1, Private, 0), p)
+	b.Insert(0, blk(2, Private, 0), p)
+	// Shared utility is zero, shared side empty: a shared insert must
+	// still find a victim (falls back to private side).
+	ev := b.Insert(0, blk(3, Shared, -1), p)
+	if !ev.Valid || ev.Block.Class != Private {
+		t.Fatalf("evicted %+v, want private fallback", ev)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !Private.FirstClass() || !Shared.FirstClass() {
+		t.Error("first-class predicate wrong")
+	}
+	if Private.Helping() || Shared.Helping() {
+		t.Error("helping predicate wrong for first-class")
+	}
+	if !Replica.Helping() || !Victim.Helping() {
+		t.Error("helping predicate wrong for helping classes")
+	}
+	for _, c := range []Class{Private, Shared, Replica, Victim} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+	for _, r := range []SetRole{Conventional, Reference, Explorer} {
+		if r.String() == "" {
+			t.Error("empty role name")
+		}
+	}
+}
+
+// Property: under random traffic the static partition never lets a side
+// exceed its budget once the set is full (the partition is hard).
+func TestStaticPartitionBudgetProperty(t *testing.T) {
+	prop := func(seed uint64, budget8 uint8) bool {
+		rng := sim.NewRNG(seed)
+		ways := 8
+		budget := int(budget8%7) + 1 // 1..7 private ways
+		b, _ := NewBank(Config{Sets: 2, Ways: ways})
+		pol := StaticPartition{PrivateWays: budget}
+		classes := []Class{Private, Shared}
+		for op := 0; op < 600; op++ {
+			set := rng.Intn(2)
+			line := mem.Line(rng.Intn(512))
+			c := classes[rng.Intn(2)]
+			if b.Peek(set, MatchClass(line, c)) != nil {
+				continue
+			}
+			b.Insert(set, Block{Valid: true, Line: line, Class: c, Owner: 0}, pol)
+			// Once full, each side must stay within its budget +/- the
+			// one-way transient of the current insertion.
+			full := true
+			priv := 0
+			for w := 0; w < ways; w++ {
+				blk := &b.Set(set).Blocks[w]
+				if !blk.Valid {
+					full = false
+					break
+				}
+				if blk.Class == Private || blk.Class == Replica {
+					priv++
+				}
+			}
+			if full && op > 100 {
+				if priv > budget+1 || (ways-priv) > (ways-budget)+1 {
+					return false
+				}
+			}
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the shadow policy always returns a legal victim for a full
+// set (never -1 for first-class insertions) and its shadow FIFOs never
+// exceed their configured depth.
+func TestShadowPolicyBoundsProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		b, _ := NewBank(Config{Sets: 2, Ways: 4})
+		p := NewShadowPolicy(2, 8)
+		classes := []Class{Private, Shared}
+		for op := 0; op < 500; op++ {
+			set := rng.Intn(2)
+			line := mem.Line(rng.Intn(128))
+			c := classes[rng.Intn(2)]
+			if b.Peek(set, MatchClass(line, c)) == nil {
+				p.OnMiss(set, line, c)
+				ev := b.Insert(set, Block{Valid: true, Line: line, Class: c, Owner: 0}, p)
+				if ev.Refused {
+					return false // shadow policy must never refuse
+				}
+			}
+		}
+		return b.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

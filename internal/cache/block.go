@@ -1,0 +1,71 @@
+// Package cache implements the set-associative bank structures shared by
+// every L2 organization in the simulator: tag arrays with the SP/ESP-NUCA
+// class bits, true-LRU bookkeeping, pluggable replacement policies, and
+// the shadow-tag monitor used as the costly reference partitioner in the
+// paper's Figure 4.
+package cache
+
+import (
+	"fmt"
+
+	"espnuca/internal/mem"
+)
+
+// Class is the SP/ESP-NUCA block class. Private and Shared blocks are
+// "first-class"; Replica and Victim blocks are "helping blocks" (paper
+// §3.1) whose presence in a set is limited by the protected-LRU policy.
+type Class uint8
+
+const (
+	// Private marks a block accessed by exactly one core so far; it lives
+	// in that core's private bank partition (private bit set).
+	Private Class = iota
+	// Shared marks a block accessed by two or more cores; it lives in its
+	// address-interleaved home bank (private bit clear).
+	Shared
+	// Replica is a helping copy of a Shared block placed in the
+	// requester's private partition to cut shared-access latency.
+	Replica
+	// Victim is a helping block holding remote private data evicted into
+	// the shared partition to absorb unbalanced private footprints.
+	Victim
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Private:
+		return "private"
+	case Shared:
+		return "shared"
+	case Replica:
+		return "replica"
+	case Victim:
+		return "victim"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// FirstClass reports whether the class is private or shared (not a helping
+// block).
+func (c Class) FirstClass() bool { return c == Private || c == Shared }
+
+// Helping reports whether the class is a replica or victim.
+func (c Class) Helping() bool { return c == Replica || c == Victim }
+
+// Block is one tag-array entry.
+type Block struct {
+	Valid bool
+	Line  mem.Line
+	Class Class
+	// Owner is the core the block belongs to: the single accessor for
+	// Private blocks and Victims, the replica-holding core for Replicas.
+	// It is meaningless (-1) for Shared blocks.
+	Owner int
+	Dirty bool
+
+	lastUse uint64 // bank access counter at last touch; smaller = older
+}
+
+// LastUse exposes the LRU timestamp for policies and tests.
+func (b *Block) LastUse() uint64 { return b.lastUse }

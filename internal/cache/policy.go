@@ -1,0 +1,58 @@
+package cache
+
+// FlatLRU is the classic replacement policy: evict the least-recently-used
+// valid block of the set, regardless of class. It is the SP-NUCA policy of
+// paper §2.2 and the "ESP-NUCA with flat LRU" baseline of Figure 5.
+type FlatLRU struct{}
+
+// PickVictim implements Policy.
+func (FlatLRU) PickVictim(b *Bank, setIdx int, _ Class) int {
+	return b.LRUWay(setIdx, nil)
+}
+
+// StaticPartition reserves a fixed number of ways per set for private
+// blocks and the rest for shared blocks (the Zhao et al.-style comparison
+// point in Figure 4: 12 private + 4 shared ways). An incoming block may
+// only displace blocks of its own partition; if its partition has spare
+// ways the LRU of the partition is used anyway, so the split is hard.
+type StaticPartition struct {
+	// PrivateWays is the way budget for private blocks; shared blocks get
+	// Ways-PrivateWays.
+	PrivateWays int
+}
+
+// PickVictim implements Policy. Helping classes are folded into the
+// partition they occupy (replicas with private, victims with shared) so
+// the policy remains usable under ESP-NUCA-style extensions.
+func (p StaticPartition) PickVictim(b *Bank, setIdx int, incoming Class) int {
+	privateSide := incoming == Private || incoming == Replica
+	set := b.Set(setIdx)
+	count := 0
+	for i := range set.Blocks {
+		blk := &set.Blocks[i]
+		if !blk.Valid {
+			continue
+		}
+		if (blk.Class == Private || blk.Class == Replica) == privateSide {
+			count++
+		}
+	}
+	budget := p.PrivateWays
+	if !privateSide {
+		budget = b.Ways() - p.PrivateWays
+	}
+	side := func(blk *Block) bool {
+		return (blk.Class == Private || blk.Class == Replica) == privateSide
+	}
+	if count >= budget {
+		// Partition full: evict within the partition.
+		return b.LRUWay(setIdx, side)
+	}
+	// Partition has headroom: take a way from the other side (LRU there),
+	// falling back to own side if the other side is empty.
+	other := func(blk *Block) bool { return !side(blk) }
+	if w := b.LRUWay(setIdx, other); w >= 0 {
+		return w
+	}
+	return b.LRUWay(setIdx, side)
+}

@@ -1,0 +1,114 @@
+package cache
+
+import "espnuca/internal/mem"
+
+// ShadowPolicy is the "much more accurate but also more costly" dynamic
+// partitioner the paper compares SP-NUCA's flat LRU against in Figure 4
+// (Suh et al. / Dybdahl et al. style). Each set keeps 8 shadow tags per
+// class recording recently evicted lines; a miss that hits in the shadow
+// tags of its class signals that the class would have profited from one
+// more way. Replacement then evicts from the class with the lower marginal
+// utility.
+//
+// Only first-class behaviour matters here (SP-NUCA has no helping blocks),
+// but helping classes degrade gracefully by mapping replicas to the
+// private side and victims to the shared side.
+type ShadowPolicy struct {
+	shadowWays int
+	// per set, per side (0=private, 1=shared): shadow tag FIFO.
+	shadow [][2][]mem.Line
+	// Marginal-utility counters, decayed by halving every epoch accesses.
+	util   [][2]uint32
+	epoch  uint32
+	events uint32
+}
+
+// NewShadowPolicy builds the partitioner for a bank of nsets sets with
+// shadowWays shadow tags per side per set (paper: 8).
+func NewShadowPolicy(nsets, shadowWays int) *ShadowPolicy {
+	p := &ShadowPolicy{
+		shadowWays: shadowWays,
+		shadow:     make([][2][]mem.Line, nsets),
+		util:       make([][2]uint32, nsets),
+		epoch:      4096,
+	}
+	return p
+}
+
+func sideOf(c Class) int {
+	if c == Private || c == Replica {
+		return 0
+	}
+	return 1
+}
+
+// OnMiss informs the monitor that a lookup for line of the given class
+// missed in set setIdx. If the line is present in the class's shadow tags,
+// the class gains utility.
+func (p *ShadowPolicy) OnMiss(setIdx int, line mem.Line, c Class) {
+	side := sideOf(c)
+	tags := p.shadow[setIdx][side]
+	for i, t := range tags {
+		if t == line {
+			p.util[setIdx][side]++
+			// Promote within the shadow FIFO (move to the back).
+			copy(tags[i:], tags[i+1:])
+			tags[len(tags)-1] = line
+			break
+		}
+	}
+	p.events++
+	if p.events >= p.epoch {
+		p.events = 0
+		for i := range p.util {
+			p.util[i][0] >>= 1
+			p.util[i][1] >>= 1
+		}
+	}
+}
+
+// PickVictim implements Policy: evict the LRU block of the side with the
+// lower marginal utility, falling back across sides when one is empty.
+func (p *ShadowPolicy) PickVictim(b *Bank, setIdx int, incoming Class) int {
+	u := p.util[setIdx]
+	loser := 0
+	if u[1] < u[0] || (u[1] == u[0] && sideOf(incoming) == 0) {
+		loser = 1
+	}
+	pick := func(side int) int {
+		return b.LRUWay(setIdx, func(blk *Block) bool { return sideOf(blk.Class) == side })
+	}
+	way := pick(loser)
+	if way < 0 {
+		way = pick(1 - loser)
+	}
+	if way >= 0 {
+		blk := &b.Set(setIdx).Blocks[way]
+		p.record(setIdx, blk.Line, blk.Class)
+	}
+	return way
+}
+
+// record pushes an evicted line into its side's shadow FIFO.
+func (p *ShadowPolicy) record(setIdx int, line mem.Line, c Class) {
+	side := sideOf(c)
+	tags := p.shadow[setIdx][side]
+	for i, t := range tags {
+		if t == line {
+			copy(tags[i:], tags[i+1:])
+			tags[len(tags)-1] = line
+			return
+		}
+	}
+	if len(tags) < p.shadowWays {
+		p.shadow[setIdx][side] = append(tags, line)
+		return
+	}
+	copy(tags, tags[1:])
+	tags[len(tags)-1] = line
+}
+
+// Utility exposes the per-set counters for tests.
+func (p *ShadowPolicy) Utility(setIdx int) (private, shared uint32) {
+	return p.util[setIdx][0], p.util[setIdx][1]
+}

@@ -1,0 +1,86 @@
+// Package cacti provides a small analytic cache-bank timing and area
+// model in the spirit of CACTI, used to justify the bank latencies in the
+// simulated configuration (paper Table 2: 5-cycle sequential-access banks
+// with 2-cycle tag at 45 nm). It is intentionally coarse — logarithmic
+// decoder depth plus wordline/bitline RC terms scaled by geometry — but
+// it is monotone in the right variables and reproduces the paper's chosen
+// operating point, letting users re-derive latencies for other bank sizes.
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech describes a process technology node.
+type Tech struct {
+	// NanoMeters is the feature size (paper: 45).
+	NanoMeters float64
+	// ClockGHz is the core clock used to convert to cycles.
+	ClockGHz float64
+}
+
+// Default45nm is the paper's technology point with a 3 GHz core clock.
+func Default45nm() Tech { return Tech{NanoMeters: 45, ClockGHz: 3} }
+
+// BankSpec describes one cache bank.
+type BankSpec struct {
+	Bytes      int // capacity in bytes
+	Ways       int
+	BlockBytes int
+	Sequential bool // tag-then-data (power-efficient) vs parallel access
+}
+
+// Result reports the model's estimates.
+type Result struct {
+	TagNS, DataNS, TotalNS float64
+	TagCycles, TotalCycles int
+	AreaMM2                float64
+}
+
+// Model evaluates the timing model for a bank at a technology point.
+func Model(t Tech, b BankSpec) (Result, error) {
+	if b.Bytes <= 0 || b.Ways <= 0 || b.BlockBytes <= 0 {
+		return Result{}, fmt.Errorf("cacti: invalid bank spec %+v", b)
+	}
+	if b.Bytes%(b.Ways*b.BlockBytes) != 0 {
+		return Result{}, fmt.Errorf("cacti: %dB bank not divisible into %d ways of %dB blocks", b.Bytes, b.Ways, b.BlockBytes)
+	}
+	sets := b.Bytes / (b.Ways * b.BlockBytes)
+	scale := t.NanoMeters / 45 // normalize to the 45nm reference point
+
+	// Decoder: logarithmic in the number of sets.
+	decoder := 0.04 * math.Log2(float64(sets)) * scale
+	// Tag array: grows with ways (comparators) and sets (bitline length).
+	tag := decoder + 0.01*float64(b.Ways)*scale + 0.005*math.Sqrt(float64(sets))*scale
+	// Data array: dominated by bitline/sense over the larger macro.
+	data := decoder + 0.008*math.Sqrt(float64(sets*b.Ways))*scale + 0.1*scale
+
+	var total float64
+	if b.Sequential {
+		total = tag + data
+	} else {
+		total = math.Max(tag, data)
+	}
+	cyc := func(ns float64) int {
+		c := int(math.Ceil(ns * t.ClockGHz))
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	// Area: ~linear in capacity with a per-way tag overhead.
+	area := float64(b.Bytes)/1e6*0.55*scale*scale + float64(b.Ways)*0.002
+
+	return Result{
+		TagNS: tag, DataNS: data, TotalNS: total,
+		TagCycles: cyc(tag), TotalCycles: cyc(total),
+		AreaMM2: area,
+	}, nil
+}
+
+// PaperBank is the evaluated 8 MB / 32-bank geometry: 256 KB banks,
+// 16-way, 64 B blocks, sequential access.
+func PaperBank() BankSpec {
+	return BankSpec{Bytes: 256 * 1024, Ways: 16, BlockBytes: 64, Sequential: true}
+}

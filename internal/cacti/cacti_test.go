@@ -1,0 +1,107 @@
+package cacti
+
+import "testing"
+
+func TestPaperBankMatchesTable2(t *testing.T) {
+	r, err := Model(Default45nm(), PaperBank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: 5-cycle bank access, 2-cycle tag, sequential access.
+	if r.TotalCycles != 5 {
+		t.Fatalf("TotalCycles = %d, want 5", r.TotalCycles)
+	}
+	if r.TagCycles != 2 {
+		t.Fatalf("TagCycles = %d, want 2", r.TagCycles)
+	}
+}
+
+func TestL1Geometry(t *testing.T) {
+	// 32KB 4-way L1 should be faster than the L2 bank.
+	r, err := Model(Default45nm(), BankSpec{Bytes: 32 * 1024, Ways: 4, BlockBytes: 64, Sequential: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalCycles > 3 {
+		t.Fatalf("L1 TotalCycles = %d, want <= 3 (Table 2)", r.TotalCycles)
+	}
+}
+
+func TestModelMonotoneInCapacity(t *testing.T) {
+	small, _ := Model(Default45nm(), BankSpec{Bytes: 64 * 1024, Ways: 16, BlockBytes: 64, Sequential: true})
+	big, _ := Model(Default45nm(), BankSpec{Bytes: 1024 * 1024, Ways: 16, BlockBytes: 64, Sequential: true})
+	if big.TotalNS <= small.TotalNS {
+		t.Fatalf("larger bank not slower: %g vs %g ns", big.TotalNS, small.TotalNS)
+	}
+	if big.AreaMM2 <= small.AreaMM2 {
+		t.Fatal("larger bank not bigger")
+	}
+}
+
+func TestSequentialSlowerThanParallel(t *testing.T) {
+	spec := PaperBank()
+	seq, _ := Model(Default45nm(), spec)
+	spec.Sequential = false
+	par, _ := Model(Default45nm(), spec)
+	if seq.TotalNS <= par.TotalNS {
+		t.Fatalf("sequential (%g) not slower than parallel (%g)", seq.TotalNS, par.TotalNS)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := Model(Default45nm(), BankSpec{Bytes: 0, Ways: 4, BlockBytes: 64}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Model(Default45nm(), BankSpec{Bytes: 1000, Ways: 3, BlockBytes: 64}); err == nil {
+		t.Error("non-divisible geometry accepted")
+	}
+}
+
+func TestTechScaling(t *testing.T) {
+	r45, _ := Model(Tech{NanoMeters: 45, ClockGHz: 3}, PaperBank())
+	r90, _ := Model(Tech{NanoMeters: 90, ClockGHz: 3}, PaperBank())
+	if r90.TotalNS <= r45.TotalNS {
+		t.Fatal("older node not slower")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	e, err := Energy(Default45nm(), PaperBank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ReadNJ <= 0 || e.WriteNJ <= e.ReadNJ || e.TagNJ <= 0 || e.LeakMW <= 0 {
+		t.Fatalf("implausible energies: %+v", e)
+	}
+	// Tag probes must be much cheaper than full accesses (that is the
+	// point of sequential banks).
+	if e.TagNJ >= e.ReadNJ/2 {
+		t.Fatalf("tag probe %.3f nJ not well below read %.3f nJ", e.TagNJ, e.ReadNJ)
+	}
+	if _, err := Energy(Default45nm(), BankSpec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestEnergyMonotoneInCapacity(t *testing.T) {
+	small, _ := Energy(Default45nm(), BankSpec{Bytes: 64 * 1024, Ways: 16, BlockBytes: 64, Sequential: true})
+	big, _ := Energy(Default45nm(), BankSpec{Bytes: 1024 * 1024, Ways: 16, BlockBytes: 64, Sequential: true})
+	if big.ReadNJ <= small.ReadNJ || big.LeakMW <= small.LeakMW {
+		t.Fatal("larger bank not costlier")
+	}
+	seq := PaperBank()
+	par := seq
+	par.Sequential = false
+	es, _ := Energy(Default45nm(), seq)
+	ep, _ := Energy(Default45nm(), par)
+	if es.LeakMW >= ep.LeakMW {
+		t.Fatal("sequential bank does not save leakage")
+	}
+}
+
+func TestDefaultNetworkEnergy(t *testing.T) {
+	n := DefaultNetworkEnergy()
+	if n.FlitHopNJ <= 0 || n.DRAMAccessNJ <= n.FlitHopNJ {
+		t.Fatalf("network energies implausible: %+v", n)
+	}
+}

@@ -1,0 +1,59 @@
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// EnergySpec reports per-operation energy and standby power estimates
+// for a bank, in the same analytic spirit as the timing model: monotone
+// in the right variables and calibrated to the magnitudes published for
+// 45 nm SRAM macros (roughly 0.1-1 nJ per access for 64 KB-1 MB arrays,
+// leakage of tens of mW per MB).
+type EnergySpec struct {
+	// ReadNJ and WriteNJ are dynamic energies per access, nanojoules.
+	ReadNJ, WriteNJ float64
+	// TagNJ is the tag-probe-only energy (sequential-access banks probe
+	// tags on misses without firing the data array).
+	TagNJ float64
+	// LeakMW is standby leakage, milliwatts.
+	LeakMW float64
+}
+
+// Energy evaluates the energy model for a bank at a technology point.
+func Energy(t Tech, b BankSpec) (EnergySpec, error) {
+	if b.Bytes <= 0 || b.Ways <= 0 || b.BlockBytes <= 0 {
+		return EnergySpec{}, fmt.Errorf("cacti: invalid bank spec %+v", b)
+	}
+	scale := t.NanoMeters / 45
+	kb := float64(b.Bytes) / 1024
+
+	// Dynamic energy: wordline/bitline switching grows with the square
+	// root of capacity (rows x columns), plus a per-way tag term.
+	read := (0.05 + 0.012*math.Sqrt(kb) + 0.002*float64(b.Ways)) * scale
+	write := read * 1.15 // write drivers cost a bit more
+	tag := (0.01 + 0.002*float64(b.Ways)) * scale
+
+	// Leakage: ~linear in capacity; sequential (power-efficient) banks
+	// gate the data array harder.
+	leak := 0.045 * kb * scale * scale
+	if b.Sequential {
+		leak *= 0.8
+	}
+	return EnergySpec{ReadNJ: read, WriteNJ: write, TagNJ: tag, LeakMW: leak}, nil
+}
+
+// NetworkEnergy holds the per-event energies of the interconnect.
+type NetworkEnergy struct {
+	// FlitHopNJ is the energy of moving one flit across one router+link.
+	FlitHopNJ float64
+	// DRAMAccessNJ is the off-chip access energy (I/O + DRAM core),
+	// dominated by the pin interface.
+	DRAMAccessNJ float64
+}
+
+// DefaultNetworkEnergy returns 45 nm-era estimates: ~0.05 nJ per flit-hop
+// on 128-bit links, ~20 nJ per DRAM access.
+func DefaultNetworkEnergy() NetworkEnergy {
+	return NetworkEnergy{FlitHopNJ: 0.05, DRAMAccessNJ: 20}
+}

@@ -1,0 +1,184 @@
+package coherence
+
+import (
+	"fmt"
+
+	"espnuca/internal/cache"
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+)
+
+// L1Config describes the private first-level caches (paper Table 2:
+// split 32 KB I/D, 4-way, 64 B blocks, 3-cycle access, 1-cycle tag).
+type L1Config struct {
+	Bytes, Ways, BlockBytes int
+	Latency, TagLatency     sim.Cycle
+}
+
+// DefaultL1Config returns the Table 2 L1.
+func DefaultL1Config() L1Config {
+	return L1Config{Bytes: 32 * 1024, Ways: 4, BlockBytes: 64, Latency: 3, TagLatency: 1}
+}
+
+// WriteBack describes a dirty line displaced from an L1.
+type WriteBack struct {
+	Line  mem.Line
+	Dirty bool
+	Valid bool
+}
+
+// L1s owns every core's split L1 caches plus the per-core MSHR resources,
+// and applies coherence actions (invalidations on remote writes). The L2
+// architectures reach into it to invalidate or downgrade lines.
+type L1s struct {
+	cfg   L1Config
+	data  []*cache.Bank
+	instr []*cache.Bank
+	dir   *Directory
+	sets  int
+
+	// Hits/Misses per kind, aggregated over all cores.
+	DataHits, DataMisses, InstrHits, InstrMisses uint64
+}
+
+// NewL1s builds per-core L1 pairs for n cores.
+func NewL1s(n int, cfg L1Config, dir *Directory) (*L1s, error) {
+	if cfg.Bytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("coherence: invalid L1 config %+v", cfg)
+	}
+	lines := cfg.Bytes / cfg.BlockBytes
+	sets := lines / cfg.Ways
+	if sets <= 0 {
+		return nil, fmt.Errorf("coherence: L1 of %d bytes has no sets", cfg.Bytes)
+	}
+	l := &L1s{cfg: cfg, dir: dir, sets: sets}
+	for i := 0; i < n; i++ {
+		mk := func() (*cache.Bank, error) {
+			return cache.NewBank(cache.Config{
+				Sets: sets, Ways: cfg.Ways,
+				Latency: cfg.Latency, TagLatency: cfg.TagLatency,
+			})
+		}
+		d, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		ib, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		l.data = append(l.data, d)
+		l.instr = append(l.instr, ib)
+	}
+	return l, nil
+}
+
+// Config returns the L1 configuration.
+func (l *L1s) Config() L1Config { return l.cfg }
+
+func (l *L1s) setOf(line mem.Line) int { return int(uint64(line) % uint64(l.sets)) }
+
+func (l *L1s) bank(c int, ifetch bool) *cache.Bank {
+	if ifetch {
+		return l.instr[c]
+	}
+	return l.data[c]
+}
+
+// Lookup probes core c's L1 (I or D). On a hit it returns true and, for a
+// write, marks the line dirty; writes additionally require that c holds
+// all tokens (write hit on a shared line is an upgrade miss).
+func (l *L1s) Lookup(c int, line mem.Line, write, ifetch bool) bool {
+	b := l.bank(c, ifetch)
+	set := l.setOf(line)
+	blk := b.Lookup(set, cache.MatchLine(line))
+	hit := blk != nil
+	if hit && write {
+		// Upgrade check: a write needs every token.
+		if l.dir.State(line).L1Tokens[c] != TokensPerLine {
+			hit = false
+		} else {
+			blk.Dirty = true
+		}
+	}
+	if ifetch {
+		if hit {
+			l.InstrHits++
+		} else {
+			l.InstrMisses++
+		}
+	} else {
+		if hit {
+			l.DataHits++
+		} else {
+			l.DataMisses++
+		}
+	}
+	return hit
+}
+
+// Fill installs the line into core c's L1 after a miss is satisfied and
+// returns the displaced dirty line, if any. Token movement (GrantReadL1 /
+// GrantWriteL1) is the caller's job: the architecture decides where the
+// tokens come from before calling Fill.
+func (l *L1s) Fill(c int, line mem.Line, write, ifetch bool) WriteBack {
+	b := l.bank(c, ifetch)
+	set := l.setOf(line)
+	if blk := b.Peek(set, cache.MatchLine(line)); blk != nil {
+		// Already present (upgrade): just set dirty.
+		if write {
+			blk.Dirty = true
+		}
+		return WriteBack{}
+	}
+	ev := b.Insert(set, cache.Block{
+		Valid: true, Line: line, Class: cache.Private, Owner: c, Dirty: write,
+	}, cache.FlatLRU{})
+	if !ev.Valid {
+		return WriteBack{}
+	}
+	// The displaced line's tokens leave this L1; the architecture routes
+	// the write-back (to L2 or memory), so only report it here.
+	return WriteBack{Line: ev.Block.Line, Dirty: ev.Block.Dirty, Valid: true}
+}
+
+// Invalidate removes the line from core c's L1 (both arrays; a line can
+// only be in one, but code/data aliasing is legal) and returns whether a
+// dirty copy was dropped.
+func (l *L1s) Invalidate(c int, line mem.Line) (dirty bool) {
+	set := l.setOf(line)
+	if old, ok := l.data[c].Invalidate(set, cache.MatchLine(line)); ok && old.Dirty {
+		dirty = true
+	}
+	if old, ok := l.instr[c].Invalidate(set, cache.MatchLine(line)); ok && old.Dirty {
+		dirty = true
+	}
+	return dirty
+}
+
+// InvalidateSharers removes the line from every L1 in the mask except
+// keep; used on writes (token collection).
+func (l *L1s) InvalidateSharers(line mem.Line, mask uint8, keep int) {
+	for c := 0; c < len(l.data); c++ {
+		if c != keep && mask&(1<<uint(c)) != 0 {
+			l.Invalidate(c, line)
+		}
+	}
+}
+
+// Has reports whether core c's L1 holds the line (either array), without
+// touching LRU state.
+func (l *L1s) Has(c int, line mem.Line) bool {
+	set := l.setOf(line)
+	return l.data[c].Peek(set, cache.MatchLine(line)) != nil ||
+		l.instr[c].Peek(set, cache.MatchLine(line)) != nil
+}
+
+// Access claims core c's L1 port for timing and returns the completion
+// cycle of the array access.
+func (l *L1s) Access(at sim.Cycle, c int, ifetch bool) sim.Cycle {
+	return l.bank(c, ifetch).Access(at)
+}
+
+// Cores returns the number of cores.
+func (l *L1s) Cores() int { return len(l.data) }

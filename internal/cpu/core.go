@@ -1,0 +1,303 @@
+// Package cpu models the processor cores of Table 2: out-of-order with a
+// 64-entry window, 4-wide issue, and up to 16 outstanding memory
+// requests.
+//
+// The model is the standard lightweight OoO approximation used by
+// trace-driven memory-system studies: instructions retire at the issue
+// width; an L1 miss does not stall the core immediately — execution runs
+// ahead until either the MSHRs fill (16 outstanding misses) or the
+// reorder window fills (64 instructions past the oldest incomplete miss),
+// at which point the core waits for the oldest miss. This captures
+// memory-level parallelism and latency hiding, the two first-order
+// effects the L2 architecture differentiates on.
+package cpu
+
+import (
+	"container/heap"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+	"espnuca/internal/workload"
+)
+
+// Config holds the core parameters.
+type Config struct {
+	IssueWidth  int // instructions per cycle (paper: 4)
+	Window      int // reorder window (paper: 64)
+	MSHRs       int // outstanding memory requests (paper: 16)
+	Quantum     int // instructions executed per scheduler slice
+	L1HitCycles sim.Cycle
+	// PrefetchDegree, when positive, enables a per-core stride
+	// prefetcher issuing that many lines ahead on confirmed strides
+	// (extension; the paper's system has none).
+	PrefetchDegree int
+}
+
+// DefaultConfig returns Table 2's core.
+func DefaultConfig() Config {
+	return Config{IssueWidth: 4, Window: 64, MSHRs: 16, Quantum: 256, L1HitCycles: 3}
+}
+
+// missHeap orders outstanding misses by completion cycle.
+type missHeap []missEntry
+
+type missEntry struct {
+	done  sim.Cycle
+	instr uint64 // instruction index that issued it
+}
+
+func (h missHeap) Len() int           { return len(h) }
+func (h missHeap) Less(i, j int) bool { return h[i].done < h[j].done }
+func (h missHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *missHeap) Push(x any)        { *h = append(*h, x.(missEntry)) }
+func (h *missHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h missHeap) oldestInstr() uint64 { // min instruction index among entries
+	min := ^uint64(0)
+	for _, e := range h {
+		if e.instr < min {
+			min = e.instr
+		}
+	}
+	return min
+}
+
+// InstrSource supplies the instruction stream a core executes. The
+// synthetic workload generators implement it, as do trace replayers.
+type InstrSource interface {
+	Next() workload.Instr
+}
+
+// Core executes one workload stream against the memory system.
+type Core struct {
+	ID     int
+	cfg    Config
+	eng    *sim.Engine
+	sys    arch.System
+	stream InstrSource
+
+	localTime sim.Cycle
+	retired   uint64
+	target    uint64
+	slot      int // issue slots consumed this cycle
+	misses    missHeap
+
+	// warmTarget is the retirement count at which measurement begins;
+	// warmTime records the core's local clock at that point.
+	warmTarget uint64
+	warmTime   sim.Cycle
+	warmed     bool
+
+	// Done reports whether the core reached its instruction target.
+	Done bool
+
+	// Stalls counts cycles lost waiting on the window/MSHR limits.
+	Stalls sim.Cycle
+
+	// pf is the optional stride prefetcher.
+	pf *stridePrefetcher
+}
+
+// New builds a core; call Start to schedule it.
+func New(id int, cfg Config, eng *sim.Engine, sys arch.System, stream InstrSource, target uint64) *Core {
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 4
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 16
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 256
+	}
+	c := &Core{ID: id, cfg: cfg, eng: eng, sys: sys, stream: stream, target: target}
+	if cfg.PrefetchDegree > 0 {
+		c.pf = newStridePrefetcher(cfg.PrefetchDegree)
+	}
+	return c
+}
+
+// Prefetcher stats: prefetches issued and those that saw demand hits;
+// zeros when prefetching is disabled.
+func (c *Core) PrefetchStats() (issued, useful uint64) {
+	if c.pf == nil {
+		return 0, 0
+	}
+	return c.pf.Issued, c.pf.Useful
+}
+
+// Retired returns the number of instructions completed.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Time returns the core's local cycle count.
+func (c *Core) Time() sim.Cycle { return c.localTime }
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.localTime == 0 {
+		return 0
+	}
+	return float64(c.retired) / float64(c.localTime)
+}
+
+// SetWarmup makes the core record the local cycle at which it retires its
+// n-th instruction, delimiting the measured window. Call before Start.
+func (c *Core) SetWarmup(n uint64) { c.warmTarget = n }
+
+// Warmed reports whether the warmup boundary was crossed.
+func (c *Core) Warmed() bool { return c.warmed }
+
+// MeasuredIPC returns instructions per cycle within the core's own
+// measured window (after its warmup boundary).
+func (c *Core) MeasuredIPC() float64 {
+	if !c.warmed || c.localTime <= c.warmTime {
+		return c.IPC()
+	}
+	return float64(c.retired-c.warmTarget) / float64(c.localTime-c.warmTime)
+}
+
+// MeasuredWindow returns the measured cycles and instructions.
+func (c *Core) MeasuredWindow() (sim.Cycle, uint64) {
+	if !c.warmed {
+		return c.localTime, c.retired
+	}
+	return c.localTime - c.warmTime, c.retired - c.warmTarget
+}
+
+// Start schedules the core's first slice.
+func (c *Core) Start() {
+	c.eng.Schedule(0, c.slice)
+}
+
+// maxSliceSkew bounds how far a core's local clock may advance within one
+// scheduler slice. Shared resources (links, bank ports, DRAM channels) use
+// next-free-time queueing, which is only accurate when claims arrive in
+// roughly global time order; yielding whenever the local clock jumps keeps
+// cross-core skew below one short transaction.
+const maxSliceSkew = 64
+
+// slice executes up to Quantum instructions, then yields to the event
+// queue so cores stay loosely synchronized in simulated time.
+func (c *Core) slice() {
+	if c.Done {
+		return
+	}
+	sub := c.sys.Sub()
+	sliceStart := c.localTime
+	for n := 0; n < c.cfg.Quantum; n++ {
+		if c.localTime > sliceStart+maxSliceSkew {
+			break
+		}
+		if c.retired >= c.target {
+			c.Done = true
+			c.drain()
+			return
+		}
+		c.reapCompleted()
+
+		in := c.stream.Next()
+
+		// Instruction fetch on code-line crossings.
+		if in.HasFetch {
+			if !sub.L1.Lookup(c.ID, in.Fetch, false, true) {
+				c.handleMiss(in.Fetch, false, true)
+			} else {
+				sub.RecordL1Hit(c.cfg.L1HitCycles)
+			}
+		}
+
+		// Data access.
+		if in.IsMem {
+			if sub.L1.Lookup(c.ID, in.Data, in.Write, false) {
+				sub.RecordL1Hit(c.cfg.L1HitCycles)
+				if c.pf != nil {
+					c.pf.observeHit(in.Data)
+				}
+			} else {
+				c.handleMiss(in.Data, in.Write, false)
+				if c.pf != nil {
+					c.prefetch(in.Data)
+				}
+			}
+		}
+
+		c.retired++
+		if !c.warmed && c.warmTarget > 0 && c.retired >= c.warmTarget {
+			c.warmed = true
+			c.warmTime = c.localTime
+		}
+		c.slot++
+		if c.slot >= c.cfg.IssueWidth {
+			c.slot = 0
+			c.localTime++
+		}
+	}
+	// Yield: reschedule at the core's current local time so other cores
+	// catch up in simulated time before we claim more shared resources.
+	c.eng.At(c.localTime, c.slice)
+}
+
+// handleMiss issues the access to the L2 system and applies the window /
+// MSHR back-pressure rules.
+func (c *Core) handleMiss(line mem.Line, write, ifetch bool) {
+	sub := c.sys.Sub()
+	res := c.sys.Access(c.localTime, c.ID, line, write)
+	heap.Push(&c.misses, missEntry{done: res.Done, instr: c.retired})
+	wb := sub.L1.Fill(c.ID, line, write, ifetch)
+	if wb.Valid {
+		c.sys.WriteBack(res.Done, c.ID, wb.Line, wb.Dirty)
+	}
+
+	// Back-pressure: MSHRs full, or the window has run ahead of the
+	// oldest outstanding miss.
+	for len(c.misses) >= c.cfg.MSHRs ||
+		(len(c.misses) > 0 && c.retired-c.misses.oldestInstr() >= uint64(c.cfg.Window)) {
+		c.waitOldest()
+	}
+}
+
+// prefetch trains the stride predictor and issues non-blocking fills.
+func (c *Core) prefetch(miss mem.Line) {
+	sub := c.sys.Sub()
+	for _, l := range c.pf.observeMiss(miss) {
+		if sub.L1.Has(c.ID, l) {
+			continue
+		}
+		c.pf.markIssued(l)
+		res := c.sys.Access(c.localTime, c.ID, l, false)
+		wb := sub.L1.Fill(c.ID, l, false, false)
+		if wb.Valid {
+			c.sys.WriteBack(res.Done, c.ID, wb.Line, wb.Dirty)
+		}
+	}
+}
+
+// reapCompleted retires misses whose data has arrived.
+func (c *Core) reapCompleted() {
+	for len(c.misses) > 0 && c.misses[0].done <= c.localTime {
+		heap.Pop(&c.misses)
+	}
+}
+
+// waitOldest advances local time to the earliest completing miss.
+func (c *Core) waitOldest() {
+	if len(c.misses) == 0 {
+		return
+	}
+	e := heap.Pop(&c.misses).(missEntry)
+	if e.done > c.localTime {
+		c.Stalls += e.done - c.localTime
+		c.localTime = e.done
+		c.slot = 0
+	}
+	c.reapCompleted()
+}
+
+// drain waits for all outstanding misses at the end of the run.
+func (c *Core) drain() {
+	for len(c.misses) > 0 {
+		c.waitOldest()
+	}
+}

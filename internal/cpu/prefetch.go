@@ -1,0 +1,103 @@
+package cpu
+
+import "espnuca/internal/mem"
+
+// stridePrefetcher is a classic per-core stride predictor: it watches the
+// L1-miss stream, and when consecutive misses to the same region step by
+// a constant stride it issues non-blocking prefetches ahead of the
+// stream. Prefetches run the full L2/coherence/NoC path (they consume
+// real bandwidth and can displace real data) but never stall the core.
+//
+// The paper's system has no prefetcher; this is an opt-in extension
+// (Config.PrefetchDegree > 0) used to study how the NUCA organizations
+// interact with prefetch traffic.
+type stridePrefetcher struct {
+	entries [prefetchEntries]strideEntry
+	degree  int
+
+	// Issued and Useful count prefetches sent and prefetched lines that
+	// subsequently saw demand hits.
+	Issued, Useful uint64
+
+	inflight map[mem.Line]struct{}
+}
+
+type strideEntry struct {
+	valid    bool
+	tag      uint64
+	last     mem.Line
+	stride   int64
+	confirms uint8
+}
+
+const (
+	prefetchEntries = 16
+	// regionBits groups misses into 64 KB regions (1024 lines) so
+	// independent streams train independent entries.
+	regionBits = 10
+	// confirmThreshold is how many consecutive equal strides are needed
+	// before prefetching begins.
+	confirmThreshold = 2
+)
+
+func newStridePrefetcher(degree int) *stridePrefetcher {
+	return &stridePrefetcher{degree: degree, inflight: make(map[mem.Line]struct{}, 64)}
+}
+
+// observeMiss trains the predictor with a demand miss and returns the
+// lines to prefetch (possibly none).
+func (p *stridePrefetcher) observeMiss(line mem.Line) []mem.Line {
+	region := uint64(line) >> regionBits
+	e := &p.entries[region%prefetchEntries]
+	if !e.valid || e.tag != region {
+		*e = strideEntry{valid: true, tag: region, last: line}
+		return nil
+	}
+	stride := int64(line) - int64(e.last)
+	e.last = line
+	if stride == 0 {
+		return nil
+	}
+	if stride != e.stride {
+		e.stride = stride
+		e.confirms = 0
+		return nil
+	}
+	if e.confirms < confirmThreshold {
+		e.confirms++
+		if e.confirms < confirmThreshold {
+			return nil
+		}
+	}
+	out := make([]mem.Line, 0, p.degree)
+	next := int64(line)
+	for i := 0; i < p.degree; i++ {
+		next += stride
+		if next < 0 {
+			break
+		}
+		l := mem.Line(next)
+		if _, dup := p.inflight[l]; dup {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// markIssued records an in-flight prefetch.
+func (p *stridePrefetcher) markIssued(line mem.Line) {
+	p.Issued++
+	p.inflight[line] = struct{}{}
+	if len(p.inflight) > 4096 {
+		p.inflight = make(map[mem.Line]struct{}, 64)
+	}
+}
+
+// observeHit credits a demand access that found a prefetched line.
+func (p *stridePrefetcher) observeHit(line mem.Line) {
+	if _, ok := p.inflight[line]; ok {
+		p.Useful++
+		delete(p.inflight, line)
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/cacti"
+)
+
+// EnergyReport estimates the energy a run consumed, broken into L2
+// array accesses, network traffic, DRAM traffic and L2 leakage. The
+// paper reports no energy numbers; this report exists because the
+// counterpart architectures trade exactly these terms (D-NUCA moves
+// blocks, private replicates, shared ships data across the mesh), and a
+// downstream user evaluating ESP-NUCA would want the comparison.
+type EnergyReport struct {
+	// All terms in millijoules over the simulated interval.
+	L2DynamicMJ float64
+	NetworkMJ   float64
+	DRAMMJ      float64
+	L2LeakMJ    float64
+}
+
+// TotalMJ sums the report's terms.
+func (e EnergyReport) TotalMJ() float64 {
+	return e.L2DynamicMJ + e.NetworkMJ + e.DRAMMJ + e.L2LeakMJ
+}
+
+// String renders the report.
+func (e EnergyReport) String() string {
+	return fmt.Sprintf("L2 %.3f mJ + network %.3f mJ + DRAM %.3f mJ + leakage %.3f mJ = %.3f mJ",
+		e.L2DynamicMJ, e.NetworkMJ, e.DRAMMJ, e.L2LeakMJ, e.TotalMJ())
+}
+
+// EstimateEnergy derives an energy report from a finished system's
+// counters using the analytic cacti models.
+func EstimateEnergy(sys arch.System, cycles uint64) (EnergyReport, error) {
+	sub := sys.Sub()
+	cfg := sub.Cfg
+	bankBytes := cfg.SetsPerBank * cfg.Ways * cfg.BlockBytes
+	spec, err := cacti.Energy(cacti.Default45nm(), cacti.BankSpec{
+		Bytes: bankBytes, Ways: cfg.Ways, BlockBytes: cfg.BlockBytes, Sequential: true,
+	})
+	if err != nil {
+		return EnergyReport{}, err
+	}
+	net := cacti.DefaultNetworkEnergy()
+
+	var rep EnergyReport
+	for _, b := range sub.Bank {
+		hits := float64(b.Stats.Hits)
+		probes := float64(b.Stats.Misses) // tag-only probes
+		writes := float64(b.Stats.Inserts)
+		rep.L2DynamicMJ += (hits*spec.ReadNJ + probes*spec.TagNJ + writes*spec.WriteNJ) / 1e6
+	}
+	rep.NetworkMJ = float64(sub.Mesh.FlitHops) * net.FlitHopNJ / 1e6
+	rep.DRAMMJ = float64(sub.DRAM.Accesses()) * net.DRAMAccessNJ / 1e6
+	// Leakage: per-bank mW x simulated seconds at 3 GHz.
+	seconds := float64(cycles) / 3e9
+	rep.L2LeakMJ = spec.LeakMW * float64(cfg.Banks) * seconds
+	return rep, nil
+}

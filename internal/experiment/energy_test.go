@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"espnuca/internal/arch"
+)
+
+func TestEstimateEnergy(t *testing.T) {
+	rc := quickRC("esp-nuca", "apache")
+	sys, err := arch.Build(rc.Arch, rc.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOn(rc, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EstimateEnergy(sys, uint64(res.Cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.L2DynamicMJ <= 0 || rep.NetworkMJ <= 0 || rep.DRAMMJ <= 0 || rep.L2LeakMJ <= 0 {
+		t.Fatalf("zero energy term: %+v", rep)
+	}
+	if rep.TotalMJ() <= rep.L2DynamicMJ {
+		t.Fatal("total not a sum")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestEnergyOrdersArchitectures(t *testing.T) {
+	// The architectures trade energy terms against each other (shared
+	// ships data over the mesh, private broadcasts probes and misses
+	// more): their profiles must be materially different, and private's
+	// broadcast coherence must show up as network energy.
+	energy := func(name string) EnergyReport {
+		rc := quickRC(name, "oltp")
+		sys, err := arch.Build(rc.Arch, rc.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunOn(rc, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := EstimateEnergy(sys, uint64(res.Cycles))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	sh := energy("shared")
+	pr := energy("private")
+	rel := (sh.TotalMJ() - pr.TotalMJ()) / sh.TotalMJ()
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel < 0.01 {
+		t.Fatalf("energy profiles indistinguishable: shared %.4f vs private %.4f mJ",
+			sh.TotalMJ(), pr.TotalMJ())
+	}
+	if pr.NetworkMJ == 0 {
+		t.Fatal("private broadcast coherence consumed no network energy")
+	}
+}
+
+func TestStabilityReport(t *testing.T) {
+	m := NewMatrix([]string{"gzip-4", "art-4"}, []Variant{
+		V("shared", "shared"), V("esp-nuca", "esp-nuca"), V("private", "private"),
+	})
+	m.Seeds = []uint64{1}
+	m.Warmup, m.Instructions = 20_000, 8_000
+	res, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Stability(res, "esp-nuca", "shared", []string{"gzip-4", "art-4"}, []string{"private"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Variance["esp-nuca"]; !ok {
+		t.Fatal("missing esp-nuca variance")
+	}
+	if _, ok := rep.Reduction["private"]; !ok {
+		t.Fatal("missing reduction vs private")
+	}
+	for label, v := range rep.Variance {
+		if v < 0 {
+			t.Fatalf("negative variance for %s", label)
+		}
+	}
+	if !strings.Contains(rep.String(), "esp-nuca") {
+		t.Fatal("render missing architecture")
+	}
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"espnuca/internal/arch"
+)
+
+// tinyOptions keep figure-structure tests fast; the shapes themselves
+// are validated by TestPaperShapes and the benchmark harness.
+func tinyOptions() Options {
+	return Options{
+		Seeds:        []uint64{1},
+		Warmup:       8_000,
+		Instructions: 4_000,
+		System:       arch.ScaledConfig(),
+	}
+}
+
+func TestFigure4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run")
+	}
+	tab, err := Figure4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (8 NAS + 4 transactional)", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 2 {
+			t.Fatalf("row %s has %d series", r.Label, len(r.Values))
+		}
+		for _, v := range r.Values {
+			if v < 0.3 || v > 3 {
+				t.Fatalf("row %s: normalized value %g implausible", r.Label, v)
+			}
+		}
+	}
+	if !strings.Contains(tab.String(), "Figure 4") {
+		t.Fatal("render missing figure id")
+	}
+}
+
+func TestFigure6Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run")
+	}
+	tab, err := Figure6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads x 9 architectures.
+	if len(tab.Rows) != 36 {
+		t.Fatalf("rows = %d, want 36", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != 7 {
+			t.Fatalf("row %s has %d columns, want 7", r.Label, len(r.Values))
+		}
+		sum := 0.0
+		for _, v := range r.Values[:6] {
+			sum += v
+		}
+		total := r.Values[6]
+		if diff := sum - total; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("row %s: components sum %g != total %g", r.Label, sum, total)
+		}
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run")
+	}
+	tab, err := Figure7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 architectures", len(tab.Rows))
+	}
+	// The shared row is the normalization base: both values 1.0.
+	found := false
+	for _, r := range tab.Rows {
+		if r.Label == "shared" {
+			found = true
+			for _, v := range r.Values {
+				if v < 0.999 || v > 1.001 {
+					t.Fatalf("shared normalized to %g, want 1.0", v)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no shared row")
+	}
+}
+
+func TestFigure8Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run")
+	}
+	tab, err := Figure8(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 { // 4 workloads + GEOMEAN
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last.Label != "GEOMEAN" {
+		t.Fatalf("summary row label %q", last.Label)
+	}
+	if len(tab.Notes) == 0 {
+		t.Fatal("no variance notes emitted")
+	}
+	// Shared column must be exactly 1 on every workload row.
+	for _, r := range tab.Rows[:4] {
+		if r.Values[0] < 0.999 || r.Values[0] > 1.001 {
+			t.Fatalf("row %s shared = %g", r.Label, r.Values[0])
+		}
+	}
+	// CC best >= avg >= worst on every workload row.
+	for _, r := range tab.Rows[:4] {
+		avg, best, worst := r.Values[4], r.Values[5], r.Values[6]
+		if best < avg || avg < worst {
+			t.Fatalf("row %s: CC avg/best/worst = %g/%g/%g out of order", r.Label, avg, best, worst)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package experiment runs complete simulations and regenerates the
+// paper's tables and figures: it binds a workload to an architecture,
+// executes all eight cores to an instruction target, and reduces the
+// substrate counters into the metrics the paper reports (normalized
+// performance, access-time decompositions, on-/off-chip behaviour,
+// multi-seed confidence intervals, cross-benchmark variance).
+package experiment
+
+import (
+	"fmt"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/cpu"
+	"espnuca/internal/sim"
+	"espnuca/internal/workload"
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Arch     string
+	Workload string
+	// Warmup is the per-core instruction count executed before
+	// measurement begins: caches fill, victim paths populate the L2, and
+	// the adaptive mechanisms settle. Statistics are reset at the warmup
+	// boundary.
+	Warmup uint64
+	// Instructions is the per-core measured retirement target.
+	Instructions uint64
+	Seed         uint64
+	System       arch.Config
+	Core         cpu.Config
+	// WorkloadL2Lines pins the capacity the workload footprints are
+	// scaled against (0: the simulated system's own L2). Capacity sweeps
+	// set it so changing the cache does not also change the workload.
+	WorkloadL2Lines int
+	// MaxCycles bounds runaway simulations (0 = no bound).
+	MaxCycles sim.Cycle
+}
+
+// DefaultRunConfig returns the harness defaults: the scaled system (all
+// organization ratios of Table 2, 1/8 capacity), a cache-filling warmup
+// and a 40k-instruction measurement quantum per core.
+func DefaultRunConfig(archName, workloadName string) RunConfig {
+	return RunConfig{
+		Arch:         archName,
+		Workload:     workloadName,
+		Warmup:       80_000,
+		Instructions: 40_000,
+		Seed:         1,
+		System:       arch.ScaledConfig(),
+		Core:         cpu.DefaultConfig(),
+		MaxCycles:    0,
+	}
+}
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	Arch     string
+	Workload string
+	Seed     uint64
+
+	// Cycles is the simulated time until every measured core finished.
+	Cycles sim.Cycle
+	// Retired is the total instructions retired on measured cores.
+	Retired uint64
+	// Throughput is Retired/Cycles: the multithreaded performance metric.
+	Throughput float64
+	// MeanIPC is the average per-measured-core IPC: the multiprogrammed
+	// metric (paper footnote 3).
+	MeanIPC float64
+	// PerCoreIPC is each core's measured-window IPC (zero for idle
+	// cores); per-class QoS studies read it directly.
+	PerCoreIPC [8]float64
+
+	// AvgAccessTime and Decomposition reproduce Figure 6's metric.
+	AvgAccessTime float64
+	Decomposition [arch.NumLevels]float64
+
+	// OffChipAccesses is the DRAM access count (Figure 7's first metric).
+	OffChipAccesses uint64
+	// OnChipLatency is the average latency of accesses satisfied on chip
+	// (Figure 7's second metric).
+	OnChipLatency float64
+
+	// L2Hits/L2Misses summarize L2 behaviour over L1 misses.
+	L1MissRate float64
+}
+
+// Run executes one simulation.
+func Run(rc RunConfig) (RunResult, error) {
+	rc.System.Seed = rc.Seed
+	sys, err := arch.Build(rc.Arch, rc.System)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunOn(rc, sys)
+}
+
+// RunOn executes a simulation against a caller-built system; ablation
+// studies use it to flip architecture-internal knobs before running.
+func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
+	spec, ok := workload.ByName(rc.Workload)
+	if !ok {
+		return RunResult{}, fmt.Errorf("experiment: unknown workload %q", rc.Workload)
+	}
+	wlLines := rc.WorkloadL2Lines
+	if wlLines == 0 {
+		wlLines = rc.System.L2Lines()
+	}
+	bound := spec.Bind(wlLines, rc.System.L1ILines(), rc.Seed)
+
+	eng := sim.NewEngine()
+	cores := make([]*cpu.Core, rc.System.Cores)
+	measured := bound.Active
+	for c := 0; c < rc.System.Cores; c++ {
+		target := rc.Warmup + rc.Instructions
+		if measured&(1<<uint(c)) == 0 {
+			// Idle/service cores run until the measured cores finish;
+			// give them an effectively unbounded target.
+			target = ^uint64(0) >> 1
+		}
+		cores[c] = cpu.New(c, rc.Core, eng, sys, bound.Streams[c], target)
+		cores[c].SetWarmup(rc.Warmup)
+		cores[c].Start()
+	}
+
+	// Phase 1: run until every measured core has crossed its own warmup
+	// boundary (each core's measured window is delimited per-core, so
+	// heterogeneous speeds cannot skew the metrics); snapshot the global
+	// counters here for the decomposition deltas.
+	sub := sys.Sub()
+	if rc.Warmup > 0 {
+		warmDone := func() bool {
+			for c := 0; c < rc.System.Cores; c++ {
+				if measured&(1<<uint(c)) != 0 && !cores[c].Warmed() {
+					return false
+				}
+			}
+			return true
+		}
+		eng.RunUntil(rc.MaxCycles, warmDone)
+	}
+	base := snapshot(sub)
+
+	// Phase 2: measured execution.
+	allDone := func() bool {
+		for c := 0; c < rc.System.Cores; c++ {
+			if measured&(1<<uint(c)) != 0 && !cores[c].Done {
+				return false
+			}
+		}
+		return true
+	}
+	eng.RunUntil(rc.MaxCycles, allDone)
+
+	res := RunResult{Arch: rc.Arch, Workload: rc.Workload, Seed: rc.Seed}
+	var retired uint64
+	var ipcSum float64
+	var nMeasured int
+	for c := 0; c < rc.System.Cores; c++ {
+		if measured&(1<<uint(c)) == 0 {
+			continue
+		}
+		dt, dr := cores[c].MeasuredWindow()
+		retired += dr
+		ipc := cores[c].MeasuredIPC()
+		if c < len(res.PerCoreIPC) {
+			res.PerCoreIPC[c] = ipc
+		}
+		ipcSum += ipc
+		nMeasured++
+		if dt > res.Cycles {
+			res.Cycles = dt
+		}
+	}
+	if res.Cycles == 0 || nMeasured == 0 {
+		return res, fmt.Errorf("experiment: %s/%s made no progress", rc.Arch, rc.Workload)
+	}
+	res.Retired = retired
+	// Aggregate throughput: per-core rates summed (each core's measured
+	// window is its own; this is the transactions-per-unit-time proxy).
+	res.Throughput = ipcSum
+	res.MeanIPC = ipcSum / float64(nMeasured)
+
+	d := delta(sub, base)
+	res.AvgAccessTime, res.Decomposition = d.avgAccessTime()
+	res.OffChipAccesses = d.dramReads + d.dramWrites
+
+	// On-chip latency counts L1-miss traffic only (LocalL1 hits would
+	// dilute the architecture-dependent term Figure 7 plots).
+	var onChipLat, onChipN uint64
+	for l := arch.RemoteL1; l < arch.OffChip; l++ {
+		onChipLat += d.latency[l]
+		onChipN += d.counts[l]
+	}
+	if onChipN > 0 {
+		res.OnChipLatency = float64(onChipLat) / float64(onChipN)
+	}
+
+	if d.l1Total > 0 {
+		res.L1MissRate = float64(d.l1Misses) / float64(d.l1Total)
+	}
+	return res, nil
+}
+
+// statSnapshot freezes the substrate counters at the warmup boundary so
+// measurement reports deltas only.
+type statSnapshot struct {
+	counts, latency      [arch.NumLevels]uint64
+	dramReads, dramWrite uint64
+	l1Hits, l1Misses     uint64
+}
+
+func snapshot(s *arch.Substrate) statSnapshot {
+	return statSnapshot{
+		counts:    s.Counts,
+		latency:   s.Latency,
+		dramReads: s.DRAM.Reads, dramWrite: s.DRAM.Writes,
+		l1Hits:   s.L1.DataHits + s.L1.InstrHits,
+		l1Misses: s.L1.DataMisses + s.L1.InstrMisses,
+	}
+}
+
+type statDelta struct {
+	counts, latency       [arch.NumLevels]uint64
+	dramReads, dramWrites uint64
+	l1Total, l1Misses     uint64
+}
+
+func delta(s *arch.Substrate, b statSnapshot) statDelta {
+	var d statDelta
+	for l := 0; l < int(arch.NumLevels); l++ {
+		d.counts[l] = s.Counts[l] - b.counts[l]
+		d.latency[l] = s.Latency[l] - b.latency[l]
+	}
+	d.dramReads = s.DRAM.Reads - b.dramReads
+	d.dramWrites = s.DRAM.Writes - b.dramWrite
+	misses := s.L1.DataMisses + s.L1.InstrMisses - b.l1Misses
+	hits := s.L1.DataHits + s.L1.InstrHits - b.l1Hits
+	d.l1Misses = misses
+	d.l1Total = misses + hits
+	return d
+}
+
+func (d statDelta) avgAccessTime() (float64, [arch.NumLevels]float64) {
+	var contrib [arch.NumLevels]float64
+	var n, lat uint64
+	for l := 0; l < int(arch.NumLevels); l++ {
+		n += d.counts[l]
+		lat += d.latency[l]
+	}
+	if n == 0 {
+		return 0, contrib
+	}
+	for l := 0; l < int(arch.NumLevels); l++ {
+		contrib[l] = float64(d.latency[l]) / float64(n)
+	}
+	return float64(lat) / float64(n), contrib
+}
+
+// Performance returns the metric the paper normalizes: throughput for
+// multithreaded families, mean IPC for multiprogrammed ones.
+func (r RunResult) Performance(kind workload.Kind) float64 {
+	if kind == workload.HalfRate || kind == workload.Hybrid {
+		return r.MeanIPC
+	}
+	return r.Throughput
+}

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/stats"
+	"espnuca/internal/workload"
+)
+
+// Variant is one architecture configuration under evaluation. Label is
+// the display name (e.g. "CC30"); Arch the factory name; CCProb overrides
+// the cooperation probability when >= 0.
+type Variant struct {
+	Label  string
+	Arch   string
+	CCProb float64
+}
+
+// V returns a plain variant.
+func V(label, archName string) Variant { return Variant{Label: label, Arch: archName, CCProb: -1} }
+
+// CCVariant returns a Cooperative Caching variant with probability p.
+func CCVariant(p float64) Variant {
+	return Variant{Label: fmt.Sprintf("CC%02.0f", p*100), Arch: "cc", CCProb: p}
+}
+
+// CounterpartVariants are the paper's §6 comparison set, without the CC
+// family (added separately because CC is reported as avg/best/worst over
+// its four probabilities).
+func CounterpartVariants() []Variant {
+	return []Variant{
+		V("shared", "shared"),
+		V("private", "private"),
+		V("d-nuca", "d-nuca"),
+		V("asr", "asr"),
+		V("esp-nuca", "esp-nuca"),
+	}
+}
+
+// CCFamily returns the four statically-configured CC variants.
+func CCFamily() []Variant {
+	return []Variant{CCVariant(0), CCVariant(0.3), CCVariant(0.7), CCVariant(1.0)}
+}
+
+// Matrix is a run plan: the cross product of workloads, variants and
+// seeds.
+type Matrix struct {
+	Workloads    []string
+	Variants     []Variant
+	Seeds        []uint64
+	Warmup       uint64
+	Instructions uint64
+	System       arch.Config
+}
+
+// NewMatrix returns a matrix with harness defaults (scaled system, three
+// seeds).
+func NewMatrix(workloads []string, variants []Variant) Matrix {
+	return Matrix{
+		Workloads:    workloads,
+		Variants:     variants,
+		Seeds:        []uint64{1, 2, 3},
+		Warmup:       80_000,
+		Instructions: 40_000,
+		System:       arch.ScaledConfig(),
+	}
+}
+
+// Cell aggregates the runs of one (variant, workload) pair.
+type Cell struct {
+	Perf    stats.Summary // performance metric across seeds
+	Runs    []RunResult
+	Kind    workload.Kind
+	PerfVec []float64
+}
+
+// Results maps variant label -> workload -> cell.
+type Results map[string]map[string]Cell
+
+// Run executes the whole matrix. Progress, when non-nil, is called after
+// every completed run.
+func (m Matrix) Run(progress func(done, total int)) (Results, error) {
+	out := make(Results, len(m.Variants))
+	total := len(m.Variants) * len(m.Workloads) * len(m.Seeds)
+	done := 0
+	for _, v := range m.Variants {
+		out[v.Label] = make(map[string]Cell, len(m.Workloads))
+		for _, wl := range m.Workloads {
+			spec, ok := workload.ByName(wl)
+			if !ok {
+				return nil, fmt.Errorf("experiment: unknown workload %q", wl)
+			}
+			cell := Cell{Kind: spec.Kind}
+			for _, seed := range m.Seeds {
+				rc := RunConfig{
+					Arch:         v.Arch,
+					Workload:     wl,
+					Warmup:       m.Warmup,
+					Instructions: m.Instructions,
+					Seed:         seed,
+					System:       m.System,
+					Core:         DefaultRunConfig(v.Arch, wl).Core,
+				}
+				if v.CCProb >= 0 {
+					rc.System.CCProbability = v.CCProb
+				}
+				res, err := Run(rc)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s seed %d: %w", v.Label, wl, seed, err)
+				}
+				cell.Runs = append(cell.Runs, res)
+				cell.PerfVec = append(cell.PerfVec, res.Performance(spec.Kind))
+				done++
+				if progress != nil {
+					progress(done, total)
+				}
+			}
+			cell.Perf = stats.Summarize(cell.PerfVec)
+			out[v.Label][wl] = cell
+		}
+	}
+	return out, nil
+}
+
+// Normalized returns variant v's mean performance on workload wl divided
+// by baseline's, and the propagated relative CI half-width.
+func (r Results) Normalized(v, baseline, wl string) (float64, float64, error) {
+	num, ok := r[v][wl]
+	if !ok {
+		return 0, 0, fmt.Errorf("experiment: no cell %s/%s", v, wl)
+	}
+	den, ok := r[baseline][wl]
+	if !ok {
+		return 0, 0, fmt.Errorf("experiment: no baseline cell %s/%s", baseline, wl)
+	}
+	if den.Perf.Mean == 0 {
+		return 0, 0, fmt.Errorf("experiment: zero baseline performance for %s", wl)
+	}
+	norm := num.Perf.Mean / den.Perf.Mean
+	// First-order CI propagation for a ratio.
+	rel := 0.0
+	if num.Perf.Mean > 0 {
+		rel = num.Perf.CI95 / num.Perf.Mean
+	}
+	relDen := den.Perf.CI95 / den.Perf.Mean
+	return norm, norm * (rel + relDen), nil
+}
+
+// GeoMeanNormalized returns the geometric mean of v's normalized
+// performance over the workloads.
+func (r Results) GeoMeanNormalized(v, baseline string, workloads []string) (float64, error) {
+	vals := make([]float64, 0, len(workloads))
+	for _, wl := range workloads {
+		n, _, err := r.Normalized(v, baseline, wl)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, n)
+	}
+	return stats.GeoMean(vals)
+}
+
+// VarianceNormalized returns the variance of v's normalized performance
+// across the workloads — the paper's cross-benchmark stability metric.
+func (r Results) VarianceNormalized(v, baseline string, workloads []string) (float64, error) {
+	vals := make([]float64, 0, len(workloads))
+	for _, wl := range workloads {
+		n, _, err := r.Normalized(v, baseline, wl)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, n)
+	}
+	return stats.Variance(vals), nil
+}
+
+// CCAggregate folds the CC family cells for one workload into the
+// avg/best/worst summary the paper plots.
+func (r Results) CCAggregate(baseline, wl string) (avg, best, worst float64, err error) {
+	var vals []float64
+	for _, v := range CCFamily() {
+		n, _, e := r.Normalized(v.Label, baseline, wl)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		vals = append(vals, n)
+	}
+	best, worst = vals[0], vals[0]
+	sum := 0.0
+	for _, x := range vals {
+		sum += x
+		if x > best {
+			best = x
+		}
+		if x < worst {
+			worst = x
+		}
+	}
+	return sum / float64(len(vals)), best, worst, nil
+}

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/cache"
+)
+
+// OccupancyReport is a post-run snapshot of what the L2 actually holds:
+// per-tile occupancy and the block-class mix. For SP/ESP-NUCA it shows
+// the dynamic private/shared partition and the helping-block population —
+// the physical outcome of the mechanisms the paper proposes.
+type OccupancyReport struct {
+	// PerTile[t] is the tile's occupancy snapshot (banks 4t..4t+3).
+	PerTile []TileOccupancy
+	// Class counts blocks by class over the whole L2.
+	Class map[cache.Class]int
+	// Capacity is the total L2 line capacity.
+	Capacity int
+}
+
+// TileOccupancy is one tile's population.
+type TileOccupancy struct {
+	Tile     int
+	Valid    int
+	Capacity int
+	Class    map[cache.Class]int
+}
+
+// Occupancy inspects a finished system's banks.
+func Occupancy(sys arch.System) OccupancyReport {
+	sub := sys.Sub()
+	cfg := sub.Cfg
+	perNode := cfg.Banks / cfg.Cores
+	rep := OccupancyReport{
+		Class:    map[cache.Class]int{},
+		Capacity: cfg.L2Lines(),
+	}
+	for tile := 0; tile < cfg.Cores; tile++ {
+		to := TileOccupancy{
+			Tile:     tile,
+			Capacity: perNode * cfg.SetsPerBank * cfg.Ways,
+			Class:    map[cache.Class]int{},
+		}
+		for b := tile * perNode; b < (tile+1)*perNode; b++ {
+			bank := sub.Bank[b]
+			for si := 0; si < bank.Sets(); si++ {
+				for _, blk := range bank.Set(si).Blocks {
+					if !blk.Valid {
+						continue
+					}
+					to.Valid++
+					to.Class[blk.Class]++
+					rep.Class[blk.Class]++
+				}
+			}
+		}
+		rep.PerTile = append(rep.PerTile, to)
+	}
+	return rep
+}
+
+// Valid returns the total occupied lines.
+func (r OccupancyReport) Valid() int {
+	n := 0
+	for _, t := range r.PerTile {
+		n += t.Valid
+	}
+	return n
+}
+
+// HelpingFraction returns the fraction of occupied lines that are
+// helping blocks (replicas + victims).
+func (r OccupancyReport) HelpingFraction() float64 {
+	v := r.Valid()
+	if v == 0 {
+		return 0
+	}
+	return float64(r.Class[cache.Replica]+r.Class[cache.Victim]) / float64(v)
+}
+
+// String renders the report.
+func (r OccupancyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "L2 occupancy %d/%d lines (%.1f%%); class mix:",
+		r.Valid(), r.Capacity, 100*float64(r.Valid())/float64(r.Capacity))
+	for _, c := range []cache.Class{cache.Private, cache.Shared, cache.Replica, cache.Victim} {
+		if n := r.Class[c]; n > 0 {
+			fmt.Fprintf(&b, " %s=%d", c, n)
+		}
+	}
+	b.WriteByte('\n')
+	for _, t := range r.PerTile {
+		fmt.Fprintf(&b, "  tile %d: %4d/%4d", t.Tile, t.Valid, t.Capacity)
+		for _, c := range []cache.Class{cache.Private, cache.Shared, cache.Replica, cache.Victim} {
+			if n := t.Class[c]; n > 0 {
+				fmt.Fprintf(&b, "  %s %d", c, n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/cache"
+)
+
+func TestOccupancyReport(t *testing.T) {
+	rc := quickRC("esp-nuca", "apache")
+	sys, err := arch.Build(rc.Arch, rc.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOn(rc, sys); err != nil {
+		t.Fatal(err)
+	}
+	rep := Occupancy(sys)
+	if len(rep.PerTile) != 8 {
+		t.Fatalf("tiles = %d", len(rep.PerTile))
+	}
+	if rep.Valid() == 0 {
+		t.Fatal("empty L2 after a run")
+	}
+	if rep.Valid() > rep.Capacity {
+		t.Fatalf("occupancy %d exceeds capacity %d", rep.Valid(), rep.Capacity)
+	}
+	// apache is sharing-heavy: the L2 must contain shared blocks, and
+	// ESP-NUCA should have created at least some helping blocks.
+	if rep.Class[cache.Shared] == 0 {
+		t.Fatal("no shared blocks on a transactional workload")
+	}
+	if hf := rep.HelpingFraction(); hf < 0 || hf > 1 {
+		t.Fatalf("helping fraction %g out of range", hf)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "tile 0") || !strings.Contains(s, "class mix") {
+		t.Fatalf("render incomplete:\n%s", s)
+	}
+}
+
+func TestOccupancyClassMixDiffersByArchitecture(t *testing.T) {
+	occ := func(name string) OccupancyReport {
+		rc := quickRC(name, "apache")
+		sys, err := arch.Build(rc.Arch, rc.System)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunOn(rc, sys); err != nil {
+			t.Fatal(err)
+		}
+		return Occupancy(sys)
+	}
+	sh := occ("shared")
+	esp := occ("esp-nuca")
+	// S-NUCA holds only Shared-class blocks; ESP-NUCA holds a mix with
+	// private blocks present.
+	if sh.Class[cache.Private] != 0 {
+		t.Fatalf("shared S-NUCA holds %d private-class blocks", sh.Class[cache.Private])
+	}
+	if esp.Class[cache.Private] == 0 {
+		t.Fatal("ESP-NUCA holds no private blocks on apache")
+	}
+}

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"espnuca/internal/stats"
+)
+
+// StabilityReport quantifies the paper's headline stability claims (§6):
+// the variance of shared-normalized performance across a workload suite,
+// per architecture, and the relative variance reductions ESP-NUCA
+// achieves over its counterparts.
+type StabilityReport struct {
+	// Variance maps an architecture label to its cross-workload variance
+	// of shared-normalized performance.
+	Variance map[string]float64
+	// Reduction maps a counterpart label to ESP-NUCA's variance
+	// reduction versus it, as a fraction (0.37 = "37% lower variance").
+	Reduction map[string]float64
+	Workloads []string
+}
+
+// Stability computes the report from a finished Results matrix; esp is
+// ESP-NUCA's variant label, baseline the normalization base ("shared").
+func Stability(res Results, esp, baseline string, workloads []string, counterparts []string) (StabilityReport, error) {
+	rep := StabilityReport{
+		Variance:  map[string]float64{},
+		Reduction: map[string]float64{},
+		Workloads: workloads,
+	}
+	for _, label := range append([]string{esp}, counterparts...) {
+		var vals []float64
+		for _, wl := range workloads {
+			n, _, err := res.Normalized(label, baseline, wl)
+			if err != nil {
+				return rep, err
+			}
+			vals = append(vals, n)
+		}
+		rep.Variance[label] = stats.Variance(vals)
+	}
+	espVar := rep.Variance[esp]
+	for _, label := range counterparts {
+		v := rep.Variance[label]
+		if v <= 0 {
+			continue
+		}
+		rep.Reduction[label] = 1 - espVar/v
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (r StabilityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cross-workload performance variance (%d workloads):\n", len(r.Workloads))
+	labels := make([]string, 0, len(r.Variance))
+	for l := range r.Variance {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  %-12s %.5f", l, r.Variance[l])
+		if red, ok := r.Reduction[l]; ok {
+			fmt.Fprintf(&b, "   (esp-nuca variance %+.0f%% vs this)", -red*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

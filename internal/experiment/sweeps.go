@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/coherence"
+	"espnuca/internal/sim"
+)
+
+// This file holds extension studies beyond the paper's figures: scaling
+// sweeps over the two quantities NUCA architectures fundamentally trade —
+// wire delay (hop latency) and cache capacity. The paper motivates
+// ESP-NUCA with wire-delay-dominated caches; these sweeps show how its
+// advantage over the shared baseline moves as that premise strengthens
+// or weakens.
+
+// HopLatencySweep runs the given workload on shared and ESP-NUCA across
+// a range of mesh hop latencies and reports ESP-NUCA's normalized
+// performance per point. Rising gain with hop latency is the expected
+// signature: locality mechanisms matter more as wires get slower.
+func HopLatencySweep(workload string, hops []sim.Cycle, o Options) (Table, error) {
+	t := Table{
+		ID:      "Sweep: hop latency",
+		Title:   fmt.Sprintf("ESP-NUCA vs shared on %s across mesh hop latencies", workload),
+		Columns: []string{"shared", "esp-nuca", "esp/shared"},
+	}
+	for _, h := range hops {
+		sys := o.System
+		sys.NoC.HopLatency = h
+		perf := map[string]float64{}
+		for _, a := range []string{"shared", "esp-nuca"} {
+			rc := DefaultRunConfig(a, workload)
+			rc.System = sys
+			if o.Warmup > 0 {
+				rc.Warmup = o.Warmup
+			}
+			if o.Instructions > 0 {
+				rc.Instructions = o.Instructions
+			}
+			res, err := Run(rc)
+			if err != nil {
+				return Table{}, err
+			}
+			perf[a] = res.Throughput
+		}
+		t.Rows = append(t.Rows, TableRow{
+			Label:  fmt.Sprintf("hop=%d", h),
+			Values: []float64{perf["shared"], perf["esp-nuca"], perf["esp-nuca"] / perf["shared"]},
+		})
+	}
+	return t, nil
+}
+
+// CapacitySweep runs the given workload on shared and ESP-NUCA across L2
+// capacities (sets per bank doubled per step) and reports the normalized
+// gain per point. ESP-NUCA's victim mechanism matters most when capacity
+// is scarce relative to the workload.
+func CapacitySweep(workload string, setsPerBank []int, o Options) (Table, error) {
+	t := Table{
+		ID:      "Sweep: L2 capacity",
+		Title:   fmt.Sprintf("ESP-NUCA vs shared on %s across L2 capacities", workload),
+		Columns: []string{"shared", "esp-nuca", "esp/shared"},
+	}
+	for _, spb := range setsPerBank {
+		sys := o.System
+		sys.SetsPerBank = spb
+		perf := map[string]float64{}
+		for _, a := range []string{"shared", "esp-nuca"} {
+			rc := DefaultRunConfig(a, workload)
+			rc.System = sys
+			// Pin workload footprints to the reference capacity so the
+			// sweep varies the cache, not the application.
+			rc.WorkloadL2Lines = o.System.L2Lines()
+			if o.Warmup > 0 {
+				rc.Warmup = o.Warmup
+			}
+			if o.Instructions > 0 {
+				rc.Instructions = o.Instructions
+			}
+			res, err := Run(rc)
+			if err != nil {
+				return Table{}, err
+			}
+			perf[a] = res.Throughput
+		}
+		kb := spb * sys.Banks * sys.Ways * sys.BlockBytes / 1024
+		t.Rows = append(t.Rows, TableRow{
+			Label:  fmt.Sprintf("%dKB", kb),
+			Values: []float64{perf["shared"], perf["esp-nuca"], perf["esp-nuca"] / perf["shared"]},
+		})
+	}
+	return t, nil
+}
+
+// L1Sweep varies the L1 size (the filter in front of the NUCA) and
+// reports the same comparison: bigger L1s absorb the locality ESP-NUCA
+// would otherwise win on.
+func L1Sweep(workload string, l1Bytes []int, o Options) (Table, error) {
+	t := Table{
+		ID:      "Sweep: L1 capacity",
+		Title:   fmt.Sprintf("ESP-NUCA vs shared on %s across L1 sizes", workload),
+		Columns: []string{"shared", "esp-nuca", "esp/shared"},
+	}
+	for _, b := range l1Bytes {
+		sys := o.System
+		sys.L1 = coherence.L1Config{Bytes: b, Ways: 4, BlockBytes: 64, Latency: 3, TagLatency: 1}
+		perf := map[string]float64{}
+		for _, a := range []string{"shared", "esp-nuca"} {
+			rc := DefaultRunConfig(a, workload)
+			rc.System = sys
+			if o.Warmup > 0 {
+				rc.Warmup = o.Warmup
+			}
+			if o.Instructions > 0 {
+				rc.Instructions = o.Instructions
+			}
+			res, err := Run(rc)
+			if err != nil {
+				return Table{}, err
+			}
+			perf[a] = res.Throughput
+		}
+		t.Rows = append(t.Rows, TableRow{
+			Label:  fmt.Sprintf("%dKB", b/1024),
+			Values: []float64{perf["shared"], perf["esp-nuca"], perf["esp-nuca"] / perf["shared"]},
+		})
+	}
+	return t, nil
+}
+
+var _ = arch.ScaledConfig // keep the import explicit for sweep defaults

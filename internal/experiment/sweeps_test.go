@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/sim"
+)
+
+func sweepOpts() Options {
+	return Options{Warmup: 15_000, Instructions: 6_000, System: arch.ScaledConfig()}
+}
+
+func TestHopLatencySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := HopLatencySweep("oltp", []sim.Cycle{2, 10}, sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] <= 0 || r.Values[1] <= 0 {
+			t.Fatalf("row %s has non-positive performance", r.Label)
+		}
+	}
+	// ESP-NUCA's relative gain should not shrink as wires get slower.
+	if tab.Rows[1].Values[2] < tab.Rows[0].Values[2]*0.97 {
+		t.Fatalf("gain fell with hop latency: %.3f -> %.3f",
+			tab.Rows[0].Values[2], tab.Rows[1].Values[2])
+	}
+}
+
+func TestCapacitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := CapacitySweep("oltp", []int{16, 64}, sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// More capacity must not make either architecture slower.
+	if tab.Rows[1].Values[0] < tab.Rows[0].Values[0]*0.95 {
+		t.Fatalf("shared got slower with more L2: %.3f -> %.3f",
+			tab.Rows[0].Values[0], tab.Rows[1].Values[0])
+	}
+}
+
+func TestL1Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tab, err := L1Sweep("oltp", []int{4 * 1024, 16 * 1024}, sweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// A bigger L1 filter must not hurt absolute performance.
+	if tab.Rows[1].Values[1] < tab.Rows[0].Values[1]*0.95 {
+		t.Fatalf("esp-nuca got slower with a bigger L1: %.3f -> %.3f",
+			tab.Rows[0].Values[1], tab.Rows[1].Values[1])
+	}
+}

@@ -1,0 +1,144 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All timing in the simulator is expressed in core clock cycles. Components
+// schedule callbacks at absolute cycles; the engine dispatches them in
+// (cycle, sequence) order so that runs are fully deterministic: two events
+// scheduled for the same cycle fire in the order they were scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is an absolute point in simulated time, measured in core clock
+// cycles since the beginning of the run.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event func()
+
+type entry struct {
+	at   Cycle
+	seq  uint64
+	call Event
+}
+
+type eventHeap []entry
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(entry)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = entry{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not ready for
+// use; call NewEngine.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Dispatched counts events executed so far; useful for run budgets
+	// and regression tests.
+	Dispatched uint64
+}
+
+// NewEngine returns an empty engine positioned at cycle zero.
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs ev after delay cycles. A zero delay runs ev later in the
+// current cycle (after all previously scheduled work for this cycle).
+func (e *Engine) Schedule(delay Cycle, ev Event) {
+	e.At(e.now+delay, ev)
+}
+
+// At runs ev at the absolute cycle at. Scheduling in the past panics: it is
+// always a modelling bug, and silently clamping would hide it.
+func (e *Engine) At(at Cycle, ev Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", at, e.now))
+	}
+	if ev == nil {
+		panic("sim: scheduling nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, entry{at: at, seq: e.seq, call: ev})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run call return after the in-flight event
+// finishes. Further Run calls may resume the simulation.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its cycle. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(entry)
+	e.now = ev.at
+	e.Dispatched++
+	ev.call()
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// would pass limit (limit zero means no limit). It returns the cycle at
+// which it stopped.
+func (e *Engine) Run(limit Cycle) Cycle {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		if limit != 0 && e.queue[0].at > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntil executes events while cond returns false, subject to the same
+// termination rules as Run.
+func (e *Engine) RunUntil(limit Cycle, cond func() bool) Cycle {
+	e.stopped = false
+	for !e.stopped && !cond() {
+		if len(e.queue) == 0 {
+			break
+		}
+		if limit != 0 && e.queue[0].at > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,74 @@
+package stats
+
+// EMA is the integer exponential-moving-average estimator the ESP-NUCA
+// hardware uses to track first-class hit rates (paper eq. 2). The estimate
+// is kept in b bits, normalized so that 2^b-ish values mean "every recent
+// event was a hit"; on each event it is updated with shifts only:
+//
+//	hit:  v = v - (v >> a) + (2^b >> a)
+//	miss: v = v - (v >> a)
+//
+// where alpha = 2^-a is the smoothing factor (alpha = 2/(N+1) for an
+// N-sample moving average).
+type EMA struct {
+	a, b uint
+	v    uint32
+}
+
+// NewEMA returns an estimator with smoothing shift a and width b bits.
+// The paper's chosen configuration is a=1 (N=3 samples) and b=8.
+func NewEMA(a, b uint) *EMA {
+	if b == 0 || b > 30 {
+		panic("stats: EMA width must be 1..30 bits")
+	}
+	if a == 0 || a > b {
+		panic("stats: EMA shift must be 1..b")
+	}
+	return &EMA{a: a, b: b}
+}
+
+// Observe records a hit (true) or miss (false).
+func (e *EMA) Observe(hit bool) {
+	e.v -= e.v >> e.a
+	if hit {
+		e.v += uint32(1) << (e.b - e.a)
+	}
+}
+
+// Value returns the raw b-bit estimate.
+func (e *EMA) Value() uint32 { return e.v }
+
+// Rate returns the estimate normalized to [0,1].
+func (e *EMA) Rate() float64 {
+	// The fixed point of all-hits updates is 2^b - 2^a (not exactly 2^b)
+	// because of integer truncation; normalizing by 2^b keeps the
+	// hardware semantics and is what the comparison rule uses.
+	return float64(e.v) / float64(uint32(1)<<e.b)
+}
+
+// Max returns the largest value the estimator can reach (its all-hits
+// fixed point).
+func (e *EMA) Max() uint32 {
+	// Solve v = v - (v>>a) + (2^b >> a) at the fixed point: v>>a = 2^(b-a),
+	// so v approaches 2^b but saturates below it due to truncation.
+	v := uint32(0)
+	for i := 0; i < 64; i++ {
+		nv := v - (v >> e.a) + (uint32(1) << (e.b - e.a))
+		if nv == v {
+			break
+		}
+		v = nv
+	}
+	return v
+}
+
+// Reset clears the estimate.
+func (e *EMA) Reset() { e.v = 0 }
+
+// DegradedBelow reports whether other's estimate has degraded by at least
+// a fraction 2^-d relative to this (reference) estimate, i.e. whether
+// ref - (ref >> d) >= other. This is the comparison the nmax update rule
+// (paper eq. 3) performs in hardware.
+func (e *EMA) DegradedBelow(other *EMA, d uint) bool {
+	return e.v-(e.v>>d) >= other.v
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"espnuca/internal/sim"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", v, 32.0/7)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/single-sample edge cases wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || !approx(g, 4, 1e-12) {
+		t.Fatalf("GeoMean = %g, %v; want 4", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean accepted zero")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean accepted empty input")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// Two samples: t(1 df) = 12.706, sd = sqrt(2)/sqrt(2)... sample {0,2}:
+	// mean 1, sd sqrt(2), CI = 12.706*sqrt(2)/sqrt(2) = 12.706.
+	ci := CI95([]float64{0, 2})
+	if !approx(ci, 12.706, 1e-9) {
+		t.Fatalf("CI95 = %g, want 12.706", ci)
+	}
+	if CI95([]float64{5}) != 0 {
+		t.Fatal("single-sample CI should be 0")
+	}
+	// Large n uses the normal critical value.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	want := 1.96 * StdDev(xs) / 10
+	if got := CI95(xs); !approx(got, want, 1e-9) {
+		t.Fatalf("CI95(large n) = %g, want %g", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || !approx(s.Mean, 2, 1e-12) || s.N != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty Summary = %+v", z)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd Median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even Median = %g", m)
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty Median != 0")
+	}
+}
+
+func TestEMAConvergesToHitRate(t *testing.T) {
+	e := NewEMA(1, 8)
+	for i := 0; i < 1000; i++ {
+		e.Observe(true)
+	}
+	if e.Rate() < 0.98 {
+		t.Fatalf("all-hit EMA rate = %g, want ~1", e.Rate())
+	}
+	for i := 0; i < 1000; i++ {
+		e.Observe(false)
+	}
+	// Integer truncation leaves v stuck at 1 (1>>1 == 0), exactly as the
+	// shift-based hardware would; the residual is below 1/2^b of full scale.
+	if e.Rate() > 2.0/256 {
+		t.Fatalf("all-miss EMA rate = %g, want ~0", e.Rate())
+	}
+}
+
+func TestEMAAlternating(t *testing.T) {
+	// With a=1 (alpha = 1/2) the estimate oscillates around the true rate:
+	// ~2/3 after a hit, ~1/3 after a miss. Check the time average instead.
+	e := NewEMA(1, 8)
+	sum := 0.0
+	const n, warm = 1000, 100
+	for i := 0; i < n; i++ {
+		e.Observe(i%2 == 0)
+		if i >= warm {
+			sum += e.Rate()
+		}
+	}
+	avg := sum / (n - warm)
+	if avg < 0.4 || avg > 0.6 {
+		t.Fatalf("50%% hit stream EMA average = %g, want ~0.5", avg)
+	}
+}
+
+func TestEMAMaxIsFixedPoint(t *testing.T) {
+	e := NewEMA(1, 8)
+	max := e.Max()
+	for i := 0; i < 100; i++ {
+		e.Observe(true)
+	}
+	if e.Value() != max {
+		t.Fatalf("saturated value %d != Max() %d", e.Value(), max)
+	}
+	e.Observe(true)
+	if e.Value() != max {
+		t.Fatal("Max() is not a fixed point")
+	}
+}
+
+func TestEMAPanicsOnBadConfig(t *testing.T) {
+	for _, c := range []struct{ a, b uint }{{0, 8}, {9, 8}, {1, 0}, {1, 31}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEMA(%d,%d) did not panic", c.a, c.b)
+				}
+			}()
+			NewEMA(c.a, c.b)
+		}()
+	}
+}
+
+func TestEMADegradedBelow(t *testing.T) {
+	ref := NewEMA(1, 8)
+	low := NewEMA(1, 8)
+	for i := 0; i < 200; i++ {
+		ref.Observe(true)
+		low.Observe(i%4 == 0) // 25% hit rate
+	}
+	// d=3: threshold is 87.5% of reference; 25% is clearly degraded.
+	if !ref.DegradedBelow(low, 3) {
+		t.Fatal("25% stream not flagged as degraded vs all-hit reference")
+	}
+	// An equal estimator is not degraded.
+	same := NewEMA(1, 8)
+	for i := 0; i < 200; i++ {
+		same.Observe(true)
+	}
+	if ref.DegradedBelow(same, 3) {
+		t.Fatal("equal stream flagged as degraded")
+	}
+}
+
+// Property: the EMA estimate always stays within [0, Max] and tracks the
+// true hit probability of a Bernoulli stream to within a loose bound.
+func TestEMABoundsProperty(t *testing.T) {
+	prop := func(seed uint64, p8 uint8) bool {
+		p := float64(p8) / 255
+		rng := sim.NewRNG(seed)
+		e := NewEMA(3, 8) // longer window for a tighter estimate
+		max := e.Max()
+		tail := 0.0
+		const n, warm = 5000, 1000
+		for i := 0; i < n; i++ {
+			e.Observe(rng.Bool(p))
+			if e.Value() > max {
+				return false
+			}
+			if i >= warm {
+				tail += e.Rate()
+			}
+		}
+		// The time-averaged estimate tracks the true probability; the
+		// instantaneous value fluctuates by design.
+		return math.Abs(tail/(n-warm)-p) < 0.15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	rng := sim.NewRNG(3)
+	counts := make([]int, 100)
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Rank 0 should be sampled ~P(0) of the time.
+	got := float64(counts[0]) / float64(n)
+	if !approx(got, z.P(0), 0.01) {
+		t.Fatalf("rank-0 frequency %g, want %g", got, z.P(0))
+	}
+	// Monotone popularity in the aggregate: first decile beats last decile.
+	head, tail := 0, 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+		tail += counts[90+i]
+	}
+	if head <= tail {
+		t.Fatalf("head %d not more popular than tail %d", head, tail)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if !approx(z.P(i), 0.1, 1e-12) {
+			t.Fatalf("P(%d) = %g, want 0.1", i, z.P(i))
+		}
+	}
+}
+
+// Property: samples are always in range and the CDF is complete.
+func TestZipfRangeProperty(t *testing.T) {
+	prop := func(seed uint64, n16 uint16, s8 uint8) bool {
+		n := int(n16%1000) + 1
+		s := float64(s8%30) / 10
+		z := NewZipf(n, s)
+		if z.N() != n {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			v := z.Sample(rng)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += z.P(i)
+		}
+		return approx(sum, 1, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+
+	"espnuca/internal/sim"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. Cache-workload locality is classically well approximated
+// by Zipf-distributed block popularity; the synthetic workload profiles
+// use it to reproduce each application class's reuse behaviour.
+//
+// The implementation precomputes the CDF and samples by binary search,
+// which is fast enough (one RNG draw + log2(n) comparisons) for the
+// simulator's hot path when n is the number of *regions*, and is exact.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s >= 0. n must be
+// positive. s = 0 degenerates to uniform.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank using rng.
+func (z *Zipf) Sample(rng *sim.RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// P returns the probability of rank i.
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

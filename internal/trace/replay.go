@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"espnuca/internal/workload"
+)
+
+// Replayer demultiplexes a recorded trace into per-core instruction
+// sources. Each core's source implements cpu.InstrSource; when a core's
+// records run out, its source wraps to the beginning of its recorded
+// sequence so fixed-instruction-budget simulations always complete.
+type Replayer struct {
+	perCore [][]workload.Instr
+}
+
+// NewReplayer reads the whole trace into memory (traces are per-run
+// artifacts, tens of MB at most) and demultiplexes it by core.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replayer{perCore: make([][]workload.Instr, tr.Cores())}
+	for {
+		core, in, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.perCore[core] = append(rep.perCore[core], in)
+	}
+	for c, seq := range rep.perCore {
+		if len(seq) == 0 {
+			return nil, fmt.Errorf("trace: core %d has no records", c)
+		}
+	}
+	return rep, nil
+}
+
+// Cores returns the number of cores in the trace.
+func (r *Replayer) Cores() int { return len(r.perCore) }
+
+// Len returns the number of recorded instructions for a core.
+func (r *Replayer) Len(core int) int { return len(r.perCore[core]) }
+
+// Source returns core c's instruction source.
+func (r *Replayer) Source(c int) *Source {
+	return &Source{seq: r.perCore[c]}
+}
+
+// Source replays one core's recorded sequence, wrapping at the end.
+type Source struct {
+	seq []workload.Instr
+	pos int
+	// Wraps counts how many times the sequence restarted.
+	Wraps int
+}
+
+// Next implements cpu.InstrSource.
+func (s *Source) Next() workload.Instr {
+	in := s.seq[s.pos]
+	s.pos++
+	if s.pos == len(s.seq) {
+		s.pos = 0
+		s.Wraps++
+	}
+	return in
+}
+
+// Record captures n instructions from each stream of a bound workload
+// into w — the bridge from the synthetic generators to a portable trace.
+func Record(w *Writer, bound *workload.Bound, n int) error {
+	for i := 0; i < n; i++ {
+		for c, st := range bound.Streams {
+			if st == nil {
+				continue
+			}
+			if err := w.Record(c, st.Next()); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}

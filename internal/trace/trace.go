@@ -1,0 +1,167 @@
+// Package trace provides record/replay tooling for the simulator's
+// instruction streams: a compact binary format for multi-core traces, a
+// Dinero-style ASCII format for interoperability with classic cache
+// tools, and a replayer that implements cpu.InstrSource so recorded (or
+// externally produced) traces can drive any architecture in place of the
+// synthetic generators.
+//
+// The binary format is:
+//
+//	header:  "ESPT" magic, one version byte, one core-count byte
+//	records: core byte, flags byte, then uvarint-encoded line numbers
+//	         (fetch line if flagFetch, data line if flagMem)
+//
+// Line numbers are cache-block indices (mem.Line), not byte addresses.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"espnuca/internal/mem"
+	"espnuca/internal/workload"
+)
+
+const (
+	magic   = "ESPT"
+	version = 1
+)
+
+const (
+	flagFetch = 1 << iota
+	flagMem
+	flagWrite
+)
+
+// Writer serializes per-core instruction records.
+type Writer struct {
+	w     *bufio.Writer
+	cores int
+	buf   [2 + 2*binary.MaxVarintLen64]byte
+	n     uint64
+}
+
+// NewWriter writes a trace header for the given core count and returns
+// the writer.
+func NewWriter(w io.Writer, cores int) (*Writer, error) {
+	if cores <= 0 || cores > 255 {
+		return nil, fmt.Errorf("trace: core count %d outside 1..255", cores)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(cores)); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, cores: cores}, nil
+}
+
+// Record appends one instruction of one core.
+func (t *Writer) Record(core int, in workload.Instr) error {
+	if core < 0 || core >= t.cores {
+		return fmt.Errorf("trace: core %d outside 0..%d", core, t.cores-1)
+	}
+	var flags byte
+	if in.HasFetch {
+		flags |= flagFetch
+	}
+	if in.IsMem {
+		flags |= flagMem
+	}
+	if in.Write {
+		flags |= flagWrite
+	}
+	b := t.buf[:0]
+	b = append(b, byte(core), flags)
+	if in.HasFetch {
+		b = binary.AppendUvarint(b, uint64(in.Fetch))
+	}
+	if in.IsMem {
+		b = binary.AppendUvarint(b, uint64(in.Data))
+	}
+	t.n++
+	_, err := t.w.Write(b)
+	return err
+}
+
+// Records returns the number of instructions recorded.
+func (t *Writer) Records() uint64 { return t.n }
+
+// Flush drains buffered output; call before closing the underlying file.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader deserializes a trace.
+type Reader struct {
+	r     *bufio.Reader
+	cores int
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[len(magic)])
+	}
+	cores := int(head[len(magic)+1])
+	if cores == 0 {
+		return nil, fmt.Errorf("trace: zero core count")
+	}
+	return &Reader{r: br, cores: cores}, nil
+}
+
+// Cores returns the trace's core count.
+func (t *Reader) Cores() int { return t.cores }
+
+// Read returns the next (core, instruction) record; io.EOF at the end.
+func (t *Reader) Read() (int, workload.Instr, error) {
+	core, err := t.r.ReadByte()
+	if err != nil {
+		return 0, workload.Instr{}, err
+	}
+	if int(core) >= t.cores {
+		return 0, workload.Instr{}, fmt.Errorf("trace: record for core %d of %d", core, t.cores)
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return 0, workload.Instr{}, corrupt(err)
+	}
+	var in workload.Instr
+	if flags&flagFetch != 0 {
+		v, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return 0, workload.Instr{}, corrupt(err)
+		}
+		in.HasFetch, in.Fetch = true, mem.Line(v)
+	}
+	if flags&flagMem != 0 {
+		v, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return 0, workload.Instr{}, corrupt(err)
+		}
+		in.IsMem, in.Data = true, mem.Line(v)
+	}
+	in.Write = flags&flagWrite != 0 && in.IsMem
+	return int(core), in, nil
+}
+
+// corrupt maps mid-record EOF to ErrUnexpectedEOF so truncation is
+// distinguishable from a clean end.
+func corrupt(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

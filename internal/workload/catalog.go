@@ -1,0 +1,309 @@
+package workload
+
+// This file defines the 22 workloads of Table 1. The quantitative knobs
+// are calibrated to the qualitative descriptions in the paper:
+//
+//   - Transactional (§6.2): high sharing degree, substantial OS activity,
+//     large code footprints, shared data is a small fraction of capacity
+//     but a large fraction of accesses; D-NUCA-style locality helps and
+//     replication is profitable.
+//   - SPEC2000 half-rate (§6.3): half the cores idle; art/mcf have large
+//     low-utility footprints (shared caches win by up to 40%); gcc/gzip
+//     fit in the private portion (private caches win on latency).
+//   - SPEC2000 hybrid (§6.3): two program groups interfering; isolation
+//     matters (shared is worst).
+//   - NAS (§6.4): >200 MB working sets, limited sharing, large private
+//     reference counts; private-derived architectures win.
+
+func app(name string, f func(*AppProfile)) AppProfile {
+	p := AppProfile{
+		Name:           name,
+		MemFraction:    0.3,
+		WriteFraction:  0.3,
+		PrivateZipf:    0.9,
+		SharedZipf:     0.9,
+		CodeFootprint:  1.0,
+		BranchFraction: 0.12,
+		Recency:        0.85,
+		CodeRecency:    0.95,
+	}
+	f(&p)
+	return p
+}
+
+// --- Transactional applications (multithreaded over all 8 cores) ---
+
+func apacheProfile() AppProfile {
+	return app("apache", func(p *AppProfile) {
+		p.MemFraction = 0.32
+		p.PrivateFootprint = 0.06
+		p.PrivateZipf = 0.9
+		p.SharedFraction = 0.42
+		p.SharedFootprint = 0.35
+		p.SharedZipf = 1.0
+		p.SharedWriteFraction = 0.18
+		p.CodeFootprint = 6
+		p.BranchFraction = 0.16
+		p.OSFraction = 0.20
+		p.Recency = 0.80
+		p.CodeRecency = 0.85
+	})
+}
+
+func jbbProfile() AppProfile {
+	return app("jbb", func(p *AppProfile) {
+		p.MemFraction = 0.30
+		p.PrivateFootprint = 0.15
+		p.PrivateZipf = 0.8
+		p.SharedFraction = 0.30
+		p.SharedFootprint = 0.45
+		p.SharedZipf = 0.9
+		p.SharedWriteFraction = 0.22
+		p.CodeFootprint = 4
+		p.BranchFraction = 0.14
+		p.OSFraction = 0.08
+		p.Recency = 0.78
+		p.CodeRecency = 0.88
+	})
+}
+
+func oltpProfile() AppProfile {
+	return app("oltp", func(p *AppProfile) {
+		p.MemFraction = 0.34
+		p.PrivateFootprint = 0.08
+		p.PrivateZipf = 0.85
+		p.SharedFraction = 0.50
+		p.SharedFootprint = 0.6
+		p.SharedZipf = 0.95
+		p.SharedWriteFraction = 0.25
+		p.CodeFootprint = 8
+		p.BranchFraction = 0.17
+		p.OSFraction = 0.22
+		p.Recency = 0.75
+		p.CodeRecency = 0.82
+	})
+}
+
+func zeusProfile() AppProfile {
+	return app("zeus", func(p *AppProfile) {
+		p.MemFraction = 0.31
+		p.PrivateFootprint = 0.05
+		p.PrivateZipf = 0.95
+		p.SharedFraction = 0.45
+		p.SharedFootprint = 0.3
+		p.SharedZipf = 1.05
+		p.SharedWriteFraction = 0.15
+		p.CodeFootprint = 5
+		p.BranchFraction = 0.15
+		p.OSFraction = 0.18
+		p.Recency = 0.82
+		p.CodeRecency = 0.86
+	})
+}
+
+// --- SPEC2000 applications (single-threaded instances) ---
+
+func artProfile() AppProfile {
+	return app("art", func(p *AppProfile) {
+		// Large data set, low cache utility: mostly streaming over a
+		// footprint comparable to the whole L2 per instance.
+		p.MemFraction = 0.36
+		p.WriteFraction = 0.15
+		p.PrivateFootprint = 0.25
+		p.PrivateZipf = 0.7
+		p.StreamFraction = 0.30
+		p.CodeFootprint = 0.4
+		p.BranchFraction = 0.06
+		p.Recency = 0.50
+		p.CodeRecency = 0.97
+	})
+}
+
+func gccProfile() AppProfile {
+	return app("gcc", func(p *AppProfile) {
+		// Working set small enough to fit the private portion.
+		p.MemFraction = 0.28
+		p.WriteFraction = 0.35
+		p.PrivateFootprint = 0.10
+		p.PrivateZipf = 1.0
+		p.StreamFraction = 0.05
+		p.CodeFootprint = 2.0
+		p.BranchFraction = 0.15
+		p.Recency = 0.80
+		p.CodeRecency = 0.92
+	})
+}
+
+func gzipProfile() AppProfile {
+	return app("gzip", func(p *AppProfile) {
+		p.MemFraction = 0.25
+		p.WriteFraction = 0.25
+		p.PrivateFootprint = 0.07
+		p.PrivateZipf = 0.95
+		p.StreamFraction = 0.10
+		p.CodeFootprint = 0.3
+		p.BranchFraction = 0.08
+		p.Recency = 0.82
+		p.CodeRecency = 0.97
+	})
+}
+
+func mcfProfile() AppProfile {
+	return app("mcf", func(p *AppProfile) {
+		// Huge pointer-chasing footprint, very low utility.
+		p.MemFraction = 0.40
+		p.WriteFraction = 0.12
+		p.PrivateFootprint = 0.6
+		p.PrivateZipf = 0.55
+		p.StreamFraction = 0.30
+		p.CodeFootprint = 0.3
+		p.BranchFraction = 0.10
+		p.Recency = 0.40
+		p.CodeRecency = 0.96
+	})
+}
+
+func twolfProfile() AppProfile {
+	return app("twolf", func(p *AppProfile) {
+		p.MemFraction = 0.32
+		p.WriteFraction = 0.20
+		p.PrivateFootprint = 0.12
+		p.PrivateZipf = 0.9
+		p.StreamFraction = 0.25
+		p.CodeFootprint = 0.5
+		p.BranchFraction = 0.12
+		p.Recency = 0.78
+		p.CodeRecency = 0.94
+	})
+}
+
+// --- NAS Parallel Benchmarks (multithreaded over 8 cores) ---
+
+func nasApp(name string, f func(*AppProfile)) AppProfile {
+	p := app(name, func(p *AppProfile) {
+		// Family defaults: >200MB aggregate footprints, limited sharing,
+		// streaming-heavy numeric loops, small code.
+		p.MemFraction = 0.34
+		p.WriteFraction = 0.25
+		p.PrivateFootprint = 3.0
+		p.PrivateZipf = 0.95
+		p.StreamFraction = 0.5
+		p.SharedFraction = 0.08
+		p.SharedFootprint = 0.06
+		p.SharedZipf = 1.1
+		p.SharedWriteFraction = 0.10
+		p.CodeFootprint = 0.4
+		p.BranchFraction = 0.05
+		p.Recency = 0.55
+		p.CodeRecency = 0.98
+	})
+	f(&p)
+	return p
+}
+
+func nasProfiles() map[string]AppProfile {
+	return map[string]AppProfile{
+		"BT": nasApp("BT", func(p *AppProfile) { p.PrivateFootprint = 4.0; p.StreamFraction = 0.55 }),
+		"CG": nasApp("CG", func(p *AppProfile) {
+			p.PrivateFootprint = 2.0
+			p.PrivateZipf = 0.9
+			p.SharedFraction = 0.15
+			p.StreamFraction = 0.35
+		}),
+		"FT": nasApp("FT", func(p *AppProfile) { p.PrivateFootprint = 5.0; p.StreamFraction = 0.65 }),
+		"IS": nasApp("IS", func(p *AppProfile) {
+			p.PrivateFootprint = 3.0
+			p.PrivateZipf = 0.6
+			p.StreamFraction = 0.6
+			p.SharedFraction = 0.12
+		}),
+		"LU": nasApp("LU", func(p *AppProfile) { p.PrivateFootprint = 1.5; p.PrivateZipf = 1.05; p.StreamFraction = 0.4 }),
+		"MG": nasApp("MG", func(p *AppProfile) { p.PrivateFootprint = 4.5; p.StreamFraction = 0.6 }),
+		"SP": nasApp("SP", func(p *AppProfile) { p.PrivateFootprint = 3.5; p.StreamFraction = 0.55 }),
+		"UA": nasApp("UA", func(p *AppProfile) {
+			p.PrivateFootprint = 2.5
+			p.PrivateZipf = 0.95
+			p.StreamFraction = 0.45
+			p.SharedFraction = 0.10
+		}),
+	}
+}
+
+var specApps = map[string]func() AppProfile{
+	"art": artProfile, "gcc": gccProfile, "gzip": gzipProfile,
+	"mcf": mcfProfile, "twolf": twolfProfile,
+}
+
+func allCores() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7} }
+
+// Catalog returns the full 22-workload suite of Table 1 in the paper's
+// order: 4 transactional, 5 half-rate, 5 hybrid, 8 NAS.
+func Catalog() []Spec {
+	var specs []Spec
+
+	for _, tw := range []struct {
+		name string
+		prof AppProfile
+	}{
+		{"apache", apacheProfile()}, {"jbb", jbbProfile()},
+		{"oltp", oltpProfile()}, {"zeus", zeusProfile()},
+	} {
+		specs = append(specs, Spec{
+			Name: tw.name, Kind: Transactional,
+			Assignments: []Assignment{{App: tw.prof, Cores: allCores(), Multithreaded: true}},
+		})
+	}
+
+	// Half rate: four instances on cores 0-3; core 4 runs system
+	// services (the idle profile), cores 5-7 idle.
+	for _, name := range []string{"art", "gcc", "gzip", "mcf", "twolf"} {
+		specs = append(specs, Spec{
+			Name: name + "-4", Kind: HalfRate,
+			Assignments: []Assignment{{App: specApps[name](), Cores: []int{0, 1, 2, 3}}},
+		})
+	}
+
+	// Hybrid: 4 instances of the first program on cores 0-3, 4 of the
+	// second on cores 4-7.
+	for _, pair := range [][2]string{
+		{"art", "gzip"}, {"gcc", "gzip"}, {"gcc", "twolf"},
+		{"mcf", "gzip"}, {"mcf", "twolf"},
+	} {
+		specs = append(specs, Spec{
+			Name: pair[0] + "-" + pair[1], Kind: Hybrid,
+			Assignments: []Assignment{
+				{App: specApps[pair[0]](), Cores: []int{0, 1, 2, 3}},
+				{App: specApps[pair[1]](), Cores: []int{4, 5, 6, 7}},
+			},
+		})
+	}
+
+	nas := nasProfiles()
+	for _, name := range []string{"BT", "CG", "FT", "IS", "LU", "MG", "SP", "UA"} {
+		specs = append(specs, Spec{
+			Name: name, Kind: NAS,
+			Assignments: []Assignment{{App: nas[name], Cores: allCores(), Multithreaded: true}},
+		})
+	}
+	return specs
+}
+
+// ByName returns the catalog workload with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns every catalog workload name in order.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -1,0 +1,48 @@
+package workload
+
+import "fmt"
+
+// Phased workloads model applications whose cache behaviour changes over
+// execution (paper §3.2: "the application characteristic could vary
+// during the whole execution... the method adjusts itself as the
+// application changes the way it is using the cache"). A phased spec
+// alternates each core's stream between two application profiles every
+// period instructions, keeping the address regions of both phases so the
+// adaptive mechanisms face genuine re-learning, not just new addresses.
+
+// PhasedSpec builds a workload that alternates between profiles a and b
+// on all eight cores (multithreaded style: shared regions common to all
+// cores within each phase). period is the phase length in instructions.
+func PhasedSpec(name string, a, b AppProfile, period int) (Spec, error) {
+	if period <= 0 {
+		return Spec{}, fmt.Errorf("workload: phase period %d must be positive", period)
+	}
+	if a.Name == "" || b.Name == "" {
+		return Spec{}, fmt.Errorf("workload: phased profiles must be named")
+	}
+	return Spec{
+		Name: name,
+		Kind: Transactional,
+		Assignments: []Assignment{{
+			App:           a,
+			Cores:         allCores(),
+			Multithreaded: true,
+			phase:         &phaseSpec{other: b, period: period},
+		}},
+	}, nil
+}
+
+// phaseSpec is the phase-alternation attachment carried by an assignment.
+type phaseSpec struct {
+	other  AppProfile
+	period int
+}
+
+// phaseState is the runtime attachment inside a Stream; see Stream.Next.
+type phaseState struct {
+	alt      *Stream
+	period   int
+	count    int
+	inAlt    bool
+	switches int
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"espnuca/internal/mem"
+	"espnuca/internal/sim"
+	"espnuca/internal/stats"
+)
+
+// Instr is one retired instruction's memory behaviour.
+type Instr struct {
+	// Fetch is the instruction line to fetch; HasFetch is set only when
+	// the PC crossed into a new cache line (sequentially or by branch),
+	// so the L1I is probed once per line, not once per instruction.
+	Fetch    mem.Line
+	HasFetch bool
+	// Data is the accessed data line when IsMem is set.
+	Data  mem.Line
+	IsMem bool
+	Write bool
+}
+
+// Region bases keep the workload's address spaces disjoint. Lines are
+// block indices (64 B granularity), so these bases are far apart.
+const (
+	osBase      mem.Line = 0x0100_0000
+	codeBase    mem.Line = 0x0200_0000
+	sharedBase  mem.Line = 0x0800_0000
+	privateBase mem.Line = 0x4000_0000
+	regionSpan  mem.Line = 0x0040_0000 // 4M lines = 256 MB per region
+)
+
+const instrsPerCodeLine = 16 // 4-byte instructions in a 64-byte line
+
+// osLines is the shared OS region footprint in lines (kernel text/data,
+// buffer caches); fixed, modest, and common to every core.
+const osLines = 4096
+
+// Stream generates the instruction sequence of one core. It is
+// deterministic given its RNG seed.
+type Stream struct {
+	core int
+	prof AppProfile
+	rng  *sim.RNG
+
+	privBase, shBase, cdBase mem.Line
+	privLines, shLines       int
+	codeLines                int
+
+	privZipf, shZipf, codeZipf, osZipf *stats.Zipf
+
+	// streaming scan cursor over the private footprint
+	scan int
+	// current code line and intra-line position
+	codeLine mem.Line
+	codePos  int
+
+	// recency buffers model the short-stack-distance part of the
+	// reference stream: most accesses re-touch something used moments
+	// ago (which the L1 absorbs), while the tail spreads over the full
+	// footprint (which exercises the L2 and memory).
+	recentData []recEntry
+	recentCode []mem.Line
+	recDataPos int
+	recCodePos int
+	dataCap    int
+	codeCap    int
+
+	// phase, when non-nil, alternates this stream with an alternate
+	// profile's stream every phase.period instructions (paper S3.2's
+	// changing execution phases).
+	phase *phaseState
+}
+
+// recEntry remembers a recently touched line and which region's write mix
+// applies to it.
+type recEntry struct {
+	line   mem.Line
+	shared bool
+}
+
+// Recency ring capacities scale with the L1 so that recency re-touches
+// land in the L1 regardless of the simulated geometry (the ring models
+// the short-stack-distance reuse the L1 exists to absorb).
+func recentDataCap(l1Lines int) int { return clampInt(l1Lines/4, 16, 256) }
+func recentCodeCap(l1Lines int) int { return clampInt(l1Lines/8, 8, 64) }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Generated streams cap their Zipf rank space to bound CDF memory; ranks
+// map 1:1 to lines up to the cap, which covers every footprint used by
+// the catalog on practical configurations.
+const zipfCap = 1 << 18
+
+// NewStream builds the stream for one core of a bound workload. l1Lines
+// sizes the recency rings.
+func newStream(core int, prof AppProfile, privBase, shBase, cdBase mem.Line,
+	privLines, shLines, codeLines, l1Lines int, rng *sim.RNG) *Stream {
+
+	clampCap := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		if n > zipfCap {
+			return zipfCap
+		}
+		return n
+	}
+	s := &Stream{
+		core: core, prof: prof, rng: rng,
+		privBase: privBase, shBase: shBase, cdBase: cdBase,
+		privLines: max(1, privLines), shLines: max(1, shLines), codeLines: max(1, codeLines),
+		dataCap: recentDataCap(l1Lines),
+		codeCap: recentCodeCap(l1Lines),
+	}
+	s.privZipf = stats.NewZipf(clampCap(privLines), prof.PrivateZipf)
+	s.shZipf = stats.NewZipf(clampCap(shLines), prof.SharedZipf)
+	s.codeZipf = stats.NewZipf(clampCap(codeLines), 1.0)
+	s.osZipf = stats.NewZipf(osLines, 0.8)
+	s.codeLine = cdBase
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Core returns the core index this stream drives.
+func (s *Stream) Core() int { return s.core }
+
+// Profile returns the application profile behind the stream.
+func (s *Stream) Profile() AppProfile { return s.prof }
+
+// Next produces the next instruction.
+func (s *Stream) Next() Instr {
+	if p := s.phase; p != nil {
+		p.count++
+		if p.count > p.period {
+			p.count = 1
+			p.inAlt = !p.inAlt
+			p.switches++
+		}
+		if p.inAlt {
+			return p.alt.Next()
+		}
+	}
+	return s.next()
+}
+
+// Phase reports the active profile name and completed phase switches.
+func (s *Stream) Phase() (string, int) {
+	if p := s.phase; p != nil {
+		if p.inAlt {
+			return p.alt.prof.Name, p.switches
+		}
+		return s.prof.Name, p.switches
+	}
+	return s.prof.Name, 0
+}
+
+// next generates from this stream's own profile.
+func (s *Stream) next() Instr {
+	var in Instr
+
+	// Instruction fetch: cross into a new code line sequentially every
+	// instrsPerCodeLine instructions, or on a taken branch.
+	s.codePos++
+	branch := s.rng.Bool(s.prof.BranchFraction)
+	if branch || s.codePos >= instrsPerCodeLine {
+		s.codePos = 0
+		if branch {
+			switch {
+			case len(s.recentCode) > 0 && s.rng.Bool(s.prof.CodeRecency):
+				// Loop back into recently executed code.
+				s.codeLine = s.recentCode[s.rng.Intn(len(s.recentCode))]
+			case s.prof.OSFraction > 0 && s.rng.Bool(s.prof.OSFraction):
+				// OS code: common region, hot.
+				s.codeLine = osBase + mem.Line(s.osZipf.Sample(s.rng))
+				s.pushCode(s.codeLine)
+			default:
+				s.codeLine = s.cdBase + mem.Line(s.codeZipf.Sample(s.rng)%s.codeLines)
+				s.pushCode(s.codeLine)
+			}
+		} else {
+			s.codeLine++
+			if s.codeLine >= s.cdBase+mem.Line(s.codeLines) {
+				s.codeLine = s.cdBase
+			}
+			s.pushCode(s.codeLine)
+		}
+		in.Fetch = s.codeLine
+		in.HasFetch = true
+	}
+
+	if !s.rng.Bool(s.prof.MemFraction) {
+		return in
+	}
+	in.IsMem = true
+
+	// Temporal-locality component: re-touch a recent line.
+	if len(s.recentData) > 0 && s.rng.Bool(s.prof.Recency) {
+		e := s.recentData[s.rng.Intn(len(s.recentData))]
+		in.Data = e.line
+		if e.shared {
+			in.Write = s.rng.Bool(s.prof.SharedWriteFraction)
+		} else {
+			in.Write = s.rng.Bool(s.prof.WriteFraction)
+		}
+		return in
+	}
+
+	// OS data access: shared across every core.
+	if s.prof.OSFraction > 0 && s.rng.Bool(s.prof.OSFraction) {
+		in.Data = osBase + osLines + mem.Line(s.osZipf.Sample(s.rng))
+		in.Write = s.rng.Bool(0.1)
+		s.pushData(in.Data, true)
+		return in
+	}
+
+	// Application shared region.
+	if s.prof.SharedFraction > 0 && s.rng.Bool(s.prof.SharedFraction) {
+		r := s.shZipf.Sample(s.rng)
+		in.Data = s.shBase + mem.Line(r%s.shLines)
+		in.Write = s.rng.Bool(s.prof.SharedWriteFraction)
+		s.pushData(in.Data, true)
+		return in
+	}
+
+	// Private region: streaming scan or Zipf reuse.
+	if s.rng.Bool(s.prof.StreamFraction) {
+		in.Data = s.privBase + mem.Line(s.scan)
+		s.scan++
+		if s.scan >= s.privLines {
+			s.scan = 0
+		}
+	} else {
+		r := s.privZipf.Sample(s.rng)
+		in.Data = s.privBase + mem.Line(r%s.privLines)
+	}
+	in.Write = s.rng.Bool(s.prof.WriteFraction)
+	s.pushData(in.Data, false)
+	return in
+}
+
+// pushData records a freshly generated line in the recency ring.
+func (s *Stream) pushData(l mem.Line, shared bool) {
+	if len(s.recentData) < s.dataCap {
+		s.recentData = append(s.recentData, recEntry{l, shared})
+		return
+	}
+	s.recentData[s.recDataPos] = recEntry{l, shared}
+	s.recDataPos = (s.recDataPos + 1) % s.dataCap
+}
+
+// pushCode records a fresh branch target.
+func (s *Stream) pushCode(l mem.Line) {
+	if len(s.recentCode) < s.codeCap {
+		s.recentCode = append(s.recentCode, l)
+		return
+	}
+	s.recentCode[s.recCodePos] = l
+	s.recCodePos = (s.recCodePos + 1) % s.codeCap
+}
+
+// Bound is a workload instantiated against a concrete cache geometry:
+// one stream per core plus the measured-core mask.
+type Bound struct {
+	Spec    Spec
+	Streams [8]*Stream
+	// Active marks cores whose instructions count toward performance.
+	Active uint8
+}
+
+// Bind instantiates the workload for a system whose L2 holds l2Lines
+// cache lines and whose L1I holds l1iLines, using seed for perturbation.
+// Cores without an assignment run the idle/system-services profile.
+func (s Spec) Bind(l2Lines, l1iLines int, seed uint64) *Bound {
+	master := sim.NewRNG(seed)
+	b := &Bound{Spec: s, Active: s.ActiveCores()}
+
+	scale := func(frac float64, base int) int {
+		n := int(frac * float64(base))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	assigned := [8]bool{}
+	appIdx := 0
+	for _, a := range s.Assignments {
+		appIdx++
+		shLines := scale(a.App.SharedFootprint, l2Lines)
+		cdLines := scale(a.App.CodeFootprint, l1iLines)
+		privLines := scale(a.App.PrivateFootprint, l2Lines)
+		// Multithreaded: one shared+code region for the whole app and a
+		// per-thread slice of the private footprint. Instances: each core
+		// gets wholly disjoint regions.
+		for i, c := range a.Cores {
+			assigned[c] = true
+			var shB, cdB, pvB mem.Line
+			pl := privLines
+			if a.Multithreaded {
+				shB = sharedBase + mem.Line(appIdx)*regionSpan
+				cdB = codeBase + mem.Line(appIdx)*regionSpan
+				pvB = privateBase + mem.Line(c)*regionSpan
+				pl = max(1, privLines/len(a.Cores))
+			} else {
+				inst := appIdx*8 + i
+				shB = sharedBase + mem.Line(inst)*regionSpan
+				cdB = codeBase + mem.Line(inst)*regionSpan
+				pvB = privateBase + mem.Line(c)*regionSpan
+			}
+			b.Streams[c] = newStream(c, a.App, pvB, shB, cdB, pl, shLines, cdLines, l1iLines, master.Split())
+			if a.phase != nil {
+				// The alternate phase gets its own shared/code regions
+				// (a different working set) but reuses the core's private
+				// region base offset by half a span, so phase switches
+				// change the footprint, not just the addresses.
+				alt := a.phase.other
+				altSh := scale(alt.SharedFootprint, l2Lines)
+				altCd := scale(alt.CodeFootprint, l1iLines)
+				altPl := max(1, scale(alt.PrivateFootprint, l2Lines)/len(a.Cores))
+				altStream := newStream(c, alt,
+					pvB+regionSpan/2,
+					shB+regionSpan/2,
+					cdB+regionSpan/2,
+					altPl, altSh, altCd, l1iLines, master.Split())
+				b.Streams[c].phase = &phaseState{alt: altStream, period: a.phase.period}
+			}
+		}
+	}
+	idle := idleProfile()
+	for c := 0; c < 8; c++ {
+		if assigned[c] {
+			continue
+		}
+		pvB := privateBase + mem.Line(c)*regionSpan
+		cdB := codeBase // idle/system code is OS-adjacent and common
+		b.Streams[c] = newStream(c, idle, pvB, osBase+osLines, cdB,
+			scale(idle.PrivateFootprint, l2Lines), osLines,
+			scale(idle.CodeFootprint, l1iLines), l1iLines, master.Split())
+	}
+	return b
+}
