@@ -8,12 +8,17 @@
 //	espsweep -figure 8 -quick     # one seed, short quantum
 //	espsweep -sweep params        # S5.2 sensitivity sweep (a, b, d, N)
 //	espsweep -stability           # S6 cross-suite variance comparison
+//	espsweep -all -parallel 8     # bound the worker pool (0 = all cores)
+//	espsweep -figure 8 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"espnuca"
 	"espnuca/internal/arch"
@@ -22,19 +27,74 @@ import (
 	"espnuca/internal/sim"
 )
 
+// progressLine is a goroutine-safe `\r<done>/<total>` printer. Matrix
+// workers report completions concurrently; the line only ever moves
+// forward, and the terminating newline is printed exactly once.
+type progressLine struct {
+	mu     sync.Mutex
+	last   int
+	prefix string
+}
+
+func (p *progressLine) report(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if done <= p.last {
+		return
+	}
+	p.last = done
+	fmt.Fprintf(os.Stderr, "\r%s%d/%d runs", p.prefix, done, total)
+	if done == total {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "espsweep:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		figure = flag.Int("figure", 0, "figure to regenerate (4-10)")
-		table  = flag.Int("table", 0, "table to print (1 or 2)")
-		all    = flag.Bool("all", false, "regenerate every figure")
-		quick  = flag.Bool("quick", false, "single seed, short quantum")
-		csv    = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
-		sweep  = flag.String("sweep", "", "'params' (S5.2 constants), 'hops', 'capacity' or 'l1' scaling sweeps")
-		stab   = flag.Bool("stability", false, "print the S6 performance-variance comparison")
-		instrs = flag.Uint64("instructions", 0, "override measured quantum")
-		seeds  = flag.Int("seeds", 0, "override the number of perturbation seeds")
+		figure   = flag.Int("figure", 0, "figure to regenerate (4-10)")
+		table    = flag.Int("table", 0, "table to print (1 or 2)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		quick    = flag.Bool("quick", false, "single seed, short quantum")
+		csv      = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+		sweep    = flag.String("sweep", "", "'params' (S5.2 constants), 'hops', 'capacity' or 'l1' scaling sweeps")
+		stab     = flag.Bool("stability", false, "print the S6 performance-variance comparison")
+		instrs   = flag.Uint64("instructions", 0, "override measured quantum")
+		seeds    = flag.Int("seeds", 0, "override the number of perturbation seeds")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = all cores, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	var seedList []uint64
 	for i := 0; i < *seeds; i++ {
@@ -44,19 +104,16 @@ func main() {
 		Quick:        *quick,
 		Seeds:        seedList,
 		Instructions: *instrs,
-		Progress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		},
+		Parallelism:  *parallel,
+		Progress:     (&progressLine{}).report,
 	}
 
 	emit := func(id int) {
+		fo := fo
+		fo.Progress = (&progressLine{}).report // fresh counter per figure
 		tab, err := espnuca.Figure(id, fo)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "espsweep:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if *csv {
 			fmt.Print(tab.CSV())
@@ -67,11 +124,11 @@ func main() {
 
 	switch {
 	case *stab:
-		stability(*quick)
+		stability(*quick, *parallel)
 	case *sweep == "params":
-		sweepParams(*quick)
+		sweepParams(*quick, *parallel)
 	case *sweep == "hops" || *sweep == "capacity" || *sweep == "l1":
-		scalingSweep(*sweep, *quick)
+		scalingSweep(*sweep, *quick, *parallel)
 	case *all:
 		for id := 4; id <= 10; id++ {
 			emit(id)
@@ -108,8 +165,10 @@ func printTable2() {
 }
 
 // sweepParams reruns a transactional and a NAS workload with varied
-// protected-LRU constants (paper S5.2's sensitivity analysis).
-func sweepParams(quick bool) {
+// protected-LRU constants (paper S5.2's sensitivity analysis). The whole
+// workload x variant grid runs as one parallel batch; results print in
+// grid order afterwards.
+func sweepParams(quick bool, parallel int) {
 	workloads := []string{"apache", "CG"}
 	instrs := uint64(40_000)
 	if quick {
@@ -134,21 +193,24 @@ func sweepParams(quick bool) {
 		{"4 conventional sets", func(s *core.SamplerConfig) { s.ConventionalSets = 4 }},
 		{"2 ref + 2 explorer", func(s *core.SamplerConfig) { s.ReferenceSets = 2; s.ExplorerSets = 2 }},
 	}
-	fmt.Println("== S5.2 sensitivity: ESP-NUCA protected-LRU constants ==")
+	var rcs []experiment.RunConfig
 	for _, wl := range workloads {
-		base := 0.0
-		for i, v := range variants {
+		for _, v := range variants {
 			rc := experiment.DefaultRunConfig("esp-nuca", wl)
 			rc.Instructions = instrs
 			v.mod(&rc.System.Sampler)
-			res, err := experiment.Run(rc)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "espsweep:", err)
-				os.Exit(1)
-			}
-			if i == 0 {
-				base = res.Throughput
-			}
+			rcs = append(rcs, rc)
+		}
+	}
+	results, err := experiment.RunAll(parallel, rcs)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("== S5.2 sensitivity: ESP-NUCA protected-LRU constants ==")
+	for wi, wl := range workloads {
+		base := results[wi*len(variants)].Throughput
+		for vi, v := range variants {
+			res := results[wi*len(variants)+vi]
 			fmt.Printf("%-8s %-22s perf=%8.4f norm=%6.3f\n", wl, v.name, res.Throughput, res.Throughput/base)
 		}
 		fmt.Println()
@@ -158,51 +220,30 @@ func sweepParams(quick bool) {
 // stability reproduces the paper's S6 variance claims: the variance of
 // shared-normalized performance across each workload family, per
 // architecture, and ESP-NUCA's reduction versus its counterparts.
-func stability(quick bool) {
+func stability(quick bool, parallel int) {
 	o := experiment.DefaultOptions()
 	if quick {
 		o = experiment.QuickOptions()
 	}
-	families := []struct {
-		name      string
-		workloads []string
-	}{
-		{"transactional", []string{"apache", "jbb", "oltp", "zeus"}},
-		{"multiprogrammed", []string{"art-4", "gcc-4", "gzip-4", "mcf-4", "twolf-4",
-			"art-gzip", "gcc-gzip", "gcc-twolf", "mcf-gzip", "mcf-twolf"}},
-		{"NAS", []string{"BT", "CG", "FT", "IS", "LU", "MG", "SP", "UA"}},
+	o.Parallelism = parallel
+	o.Progress = (&progressLine{prefix: "stability "}).report
+	reports, err := experiment.StabilityStudy(experiment.StabilityFamilies(), o)
+	if err != nil {
+		fail(err)
 	}
-	variants := append(experiment.CounterpartVariants(), experiment.CCFamily()...)
-	for _, fam := range families {
-		m := experiment.NewMatrix(fam.workloads, variants)
-		m.Seeds, m.Warmup, m.Instructions = o.Seeds, o.Warmup, o.Instructions
-		res, err := m.Run(func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%s %d/%d", fam.name, done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "espsweep:", err)
-			os.Exit(1)
-		}
-		rep, err := experiment.Stability(res, "esp-nuca", "shared", fam.workloads,
-			[]string{"private", "d-nuca", "asr", "CC70"})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "espsweep:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("== %s ==\n%s\n", fam.name, rep)
+	for _, fam := range reports {
+		fmt.Printf("== %s ==\n%s\n", fam.Family, fam.Report)
 	}
 }
 
 // scalingSweep runs the extension scaling studies (wire delay, L2
 // capacity, L1 size) on a representative transactional workload.
-func scalingSweep(kind string, quick bool) {
+func scalingSweep(kind string, quick bool, parallel int) {
 	o := experiment.DefaultOptions()
 	if quick {
 		o = experiment.QuickOptions()
 	}
+	o.Parallelism = parallel
 	var tab experiment.Table
 	var err error
 	switch kind {
@@ -214,8 +255,7 @@ func scalingSweep(kind string, quick bool) {
 		tab, err = experiment.L1Sweep("oltp", []int{4 << 10, 8 << 10, 16 << 10, 32 << 10}, o)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "espsweep:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Println(tab)
 }

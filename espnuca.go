@@ -124,7 +124,14 @@ type FigureOptions struct {
 	Instructions uint64
 	// Quick reduces cost to one seed and a short quantum.
 	Quick bool
-	// Progress, when non-nil, receives completion updates.
+	// Parallelism bounds the worker pool the figure's independent
+	// simulations fan out over: 0 uses every core, 1 forces serial
+	// execution. Every run is a pure function of (configuration, seed),
+	// so the regenerated tables are bit-for-bit identical at any
+	// setting.
+	Parallelism int
+	// Progress, when non-nil, receives completion updates. Calls are
+	// serialized and done only moves forward, even under parallelism.
 	Progress func(done, total int)
 }
 
@@ -139,6 +146,7 @@ func (fo FigureOptions) internal() experiment.Options {
 	if fo.Instructions > 0 {
 		o.Instructions = fo.Instructions
 	}
+	o.Parallelism = fo.Parallelism
 	o.Progress = fo.Progress
 	return o
 }

@@ -55,6 +55,10 @@ type Options struct {
 	Instructions uint64
 	System       arch.Config
 	Progress     func(done, total int)
+	// Parallelism bounds the worker pool the underlying matrices and
+	// sweeps fan their independent simulations out over (0: all cores,
+	// 1: serial). Results are deterministic at any setting.
+	Parallelism int
 }
 
 // DefaultOptions is the full-quality setting used by cmd/espsweep.
@@ -79,6 +83,7 @@ func (o Options) matrix(workloads []string, variants []Variant) Matrix {
 		m.Instructions = o.Instructions
 	}
 	m.System = o.System
+	m.Parallelism = o.Parallelism
 	return m
 }
 

@@ -8,12 +8,21 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"espnuca/internal/arch"
 	"espnuca/internal/cpu"
 	"espnuca/internal/sim"
 	"espnuca/internal/workload"
 )
+
+// enginePool recycles event engines across runs: a simulation pushes
+// hundreds of thousands of events through its engine, and reusing the
+// grown heap backing array means matrix/sweep workers stop paying the
+// queue's growth reallocation per cell. Engines are returned reset, with
+// their event closures released, so a pooled engine is indistinguishable
+// from a fresh one.
+var enginePool = sync.Pool{New: func() any { return sim.NewEngine() }}
 
 // RunConfig describes one simulation run.
 type RunConfig struct {
@@ -109,7 +118,11 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 	}
 	bound := spec.Bind(wlLines, rc.System.L1ILines(), rc.Seed)
 
-	eng := sim.NewEngine()
+	eng := enginePool.Get().(*sim.Engine)
+	defer func() {
+		eng.Reset()
+		enginePool.Put(eng)
+	}()
 	cores := make([]*cpu.Core, rc.System.Cores)
 	measured := bound.Active
 	for c := 0; c < rc.System.Cores; c++ {

@@ -52,6 +52,11 @@ type Matrix struct {
 	Warmup       uint64
 	Instructions uint64
 	System       arch.Config
+	// Parallelism bounds the worker pool Run fans the cells out over:
+	// 0 uses every core (runtime.GOMAXPROCS(0)), 1 forces serial
+	// execution. Every cell is an independent deterministic simulation,
+	// so the assembled Results are identical at any setting.
+	Parallelism int
 }
 
 // NewMatrix returns a matrix with harness defaults (scaled system, three
@@ -78,43 +83,74 @@ type Cell struct {
 // Results maps variant label -> workload -> cell.
 type Results map[string]map[string]Cell
 
-// Run executes the whole matrix. Progress, when non-nil, is called after
-// every completed run.
+// cell returns the (variant, workload, seed) coordinates of flat index i.
+// The flattening order matches the serial triple loop (variants outermost,
+// seeds innermost), so progress and error precedence read the same.
+func (m Matrix) cell(i int) (vi, wi, si int) {
+	perVariant := len(m.Workloads) * len(m.Seeds)
+	return i / perVariant, (i % perVariant) / len(m.Seeds), i % len(m.Seeds)
+}
+
+// Run executes the whole matrix, fanning the (variant, workload, seed)
+// cells out over a bounded worker pool (see Matrix.Parallelism). Results
+// are assembled from an index-keyed buffer in the serial order, so the
+// output — including every Cell.Runs / Cell.PerfVec ordering — is
+// bit-for-bit identical at any parallelism. Progress, when non-nil, is
+// called after every completed run with a monotonically increasing done
+// count (calls are serialized; the callback needs no locking of its own).
 func (m Matrix) Run(progress func(done, total int)) (Results, error) {
-	out := make(Results, len(m.Variants))
+	// Validate the workload set up front, as the serial loop did before
+	// starting any simulation.
+	specs := make([]workload.Spec, len(m.Workloads))
+	for i, wl := range m.Workloads {
+		spec, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown workload %q", wl)
+		}
+		specs[i] = spec
+	}
+
 	total := len(m.Variants) * len(m.Workloads) * len(m.Seeds)
-	done := 0
-	for _, v := range m.Variants {
+	results := make([]RunResult, total)
+	meter := newProgressMeter(total, progress)
+	err := forEach(m.Parallelism, total, func(i int) error {
+		vi, wi, si := m.cell(i)
+		v := m.Variants[vi]
+		rc := RunConfig{
+			Arch:         v.Arch,
+			Workload:     m.Workloads[wi],
+			Warmup:       m.Warmup,
+			Instructions: m.Instructions,
+			Seed:         m.Seeds[si],
+			System:       m.System,
+			Core:         DefaultRunConfig(v.Arch, m.Workloads[wi]).Core,
+		}
+		if v.CCProb >= 0 {
+			rc.System.CCProbability = v.CCProb
+		}
+		res, err := Run(rc)
+		if err != nil {
+			return fmt.Errorf("%s/%s seed %d: %w", v.Label, m.Workloads[wi], m.Seeds[si], err)
+		}
+		results[i] = res
+		meter.tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic assembly in serial iteration order.
+	out := make(Results, len(m.Variants))
+	for vi, v := range m.Variants {
 		out[v.Label] = make(map[string]Cell, len(m.Workloads))
-		for _, wl := range m.Workloads {
-			spec, ok := workload.ByName(wl)
-			if !ok {
-				return nil, fmt.Errorf("experiment: unknown workload %q", wl)
-			}
-			cell := Cell{Kind: spec.Kind}
-			for _, seed := range m.Seeds {
-				rc := RunConfig{
-					Arch:         v.Arch,
-					Workload:     wl,
-					Warmup:       m.Warmup,
-					Instructions: m.Instructions,
-					Seed:         seed,
-					System:       m.System,
-					Core:         DefaultRunConfig(v.Arch, wl).Core,
-				}
-				if v.CCProb >= 0 {
-					rc.System.CCProbability = v.CCProb
-				}
-				res, err := Run(rc)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s seed %d: %w", v.Label, wl, seed, err)
-				}
+		for wi, wl := range m.Workloads {
+			cell := Cell{Kind: specs[wi].Kind}
+			base := (vi*len(m.Workloads) + wi) * len(m.Seeds)
+			for si := range m.Seeds {
+				res := results[base+si]
 				cell.Runs = append(cell.Runs, res)
-				cell.PerfVec = append(cell.PerfVec, res.Performance(spec.Kind))
-				done++
-				if progress != nil {
-					progress(done, total)
-				}
+				cell.PerfVec = append(cell.PerfVec, res.Performance(specs[wi].Kind))
 			}
 			cell.Perf = stats.Summarize(cell.PerfVec)
 			out[v.Label][wl] = cell

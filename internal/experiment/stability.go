@@ -52,6 +52,58 @@ func Stability(res Results, esp, baseline string, workloads []string, counterpar
 	return rep, nil
 }
 
+// Family is one workload suite of the §6 stability study.
+type Family struct {
+	Name      string
+	Workloads []string
+}
+
+// StabilityFamilies returns the paper's three suites in reporting order.
+func StabilityFamilies() []Family {
+	return []Family{
+		{"transactional", []string{"apache", "jbb", "oltp", "zeus"}},
+		{"multiprogrammed", []string{"art-4", "gcc-4", "gzip-4", "mcf-4", "twolf-4",
+			"art-gzip", "gcc-gzip", "gcc-twolf", "mcf-gzip", "mcf-twolf"}},
+		{"NAS", []string{"BT", "CG", "FT", "IS", "LU", "MG", "SP", "UA"}},
+	}
+}
+
+// FamilyStability pairs a family with its computed report.
+type FamilyStability struct {
+	Family string
+	Report StabilityReport
+}
+
+// StabilityStudy runs the full §6 comparison — every family's matrix over
+// the counterpart + CC variant set — and reduces each to its variance
+// report. The per-family matrices share one run budget: o.Progress sees a
+// single monotonic done count across the whole study, and o.Parallelism
+// bounds the workers each matrix fans out over.
+func StabilityStudy(families []Family, o Options) ([]FamilyStability, error) {
+	variants := append(CounterpartVariants(), CCFamily()...)
+	matrices := make([]Matrix, len(families))
+	grand := 0
+	for i, fam := range families {
+		matrices[i] = o.matrix(fam.Workloads, variants)
+		grand += len(fam.Workloads) * len(variants) * len(matrices[i].Seeds)
+	}
+	meter := newProgressMeter(grand, o.Progress)
+	out := make([]FamilyStability, 0, len(families))
+	for i, fam := range families {
+		res, err := matrices[i].Run(func(done, total int) { meter.tick() })
+		if err != nil {
+			return nil, fmt.Errorf("stability %s: %w", fam.Name, err)
+		}
+		rep, err := Stability(res, "esp-nuca", "shared", fam.Workloads,
+			[]string{"private", "d-nuca", "asr", "CC70"})
+		if err != nil {
+			return nil, fmt.Errorf("stability %s: %w", fam.Name, err)
+		}
+		out = append(out, FamilyStability{Family: fam.Name, Report: rep})
+	}
+	return out, nil
+}
+
 // String renders the report.
 func (r StabilityReport) String() string {
 	var b strings.Builder

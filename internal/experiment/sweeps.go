@@ -15,6 +15,42 @@ import (
 // advantage over the shared baseline moves as that premise strengthens
 // or weakens.
 
+// sweepArchs is the comparison pair every scaling sweep runs per point.
+var sweepArchs = [2]string{"shared", "esp-nuca"}
+
+// runSweepGrid executes the points x {shared, esp-nuca} grid on the
+// Options worker pool and returns perf[point][arch] in input order. mk
+// builds the run config for one grid cell; every cell is independent, so
+// the grid parallelizes like a matrix and assembles deterministically.
+func runSweepGrid(o Options, points int, mk func(point int, archName string) RunConfig) ([][2]float64, error) {
+	perf := make([][2]float64, points)
+	err := forEach(o.Parallelism, points*len(sweepArchs), func(i int) error {
+		pt, ai := i/len(sweepArchs), i%len(sweepArchs)
+		rc := mk(pt, sweepArchs[ai])
+		if o.Warmup > 0 {
+			rc.Warmup = o.Warmup
+		}
+		if o.Instructions > 0 {
+			rc.Instructions = o.Instructions
+		}
+		res, err := Run(rc)
+		if err != nil {
+			return err
+		}
+		perf[pt][ai] = res.Throughput
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return perf, nil
+}
+
+// sweepRow renders one grid point as a table row.
+func sweepRow(label string, p [2]float64) TableRow {
+	return TableRow{Label: label, Values: []float64{p[0], p[1], p[1] / p[0]}}
+}
+
 // HopLatencySweep runs the given workload on shared and ESP-NUCA across
 // a range of mesh hop latencies and reports ESP-NUCA's normalized
 // performance per point. Rising gain with hop latency is the expected
@@ -25,29 +61,17 @@ func HopLatencySweep(workload string, hops []sim.Cycle, o Options) (Table, error
 		Title:   fmt.Sprintf("ESP-NUCA vs shared on %s across mesh hop latencies", workload),
 		Columns: []string{"shared", "esp-nuca", "esp/shared"},
 	}
-	for _, h := range hops {
-		sys := o.System
-		sys.NoC.HopLatency = h
-		perf := map[string]float64{}
-		for _, a := range []string{"shared", "esp-nuca"} {
-			rc := DefaultRunConfig(a, workload)
-			rc.System = sys
-			if o.Warmup > 0 {
-				rc.Warmup = o.Warmup
-			}
-			if o.Instructions > 0 {
-				rc.Instructions = o.Instructions
-			}
-			res, err := Run(rc)
-			if err != nil {
-				return Table{}, err
-			}
-			perf[a] = res.Throughput
-		}
-		t.Rows = append(t.Rows, TableRow{
-			Label:  fmt.Sprintf("hop=%d", h),
-			Values: []float64{perf["shared"], perf["esp-nuca"], perf["esp-nuca"] / perf["shared"]},
-		})
+	perf, err := runSweepGrid(o, len(hops), func(pt int, a string) RunConfig {
+		rc := DefaultRunConfig(a, workload)
+		rc.System = o.System
+		rc.System.NoC.HopLatency = hops[pt]
+		return rc
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for i, h := range hops {
+		t.Rows = append(t.Rows, sweepRow(fmt.Sprintf("hop=%d", h), perf[i]))
 	}
 	return t, nil
 }
@@ -62,33 +86,21 @@ func CapacitySweep(workload string, setsPerBank []int, o Options) (Table, error)
 		Title:   fmt.Sprintf("ESP-NUCA vs shared on %s across L2 capacities", workload),
 		Columns: []string{"shared", "esp-nuca", "esp/shared"},
 	}
-	for _, spb := range setsPerBank {
-		sys := o.System
-		sys.SetsPerBank = spb
-		perf := map[string]float64{}
-		for _, a := range []string{"shared", "esp-nuca"} {
-			rc := DefaultRunConfig(a, workload)
-			rc.System = sys
-			// Pin workload footprints to the reference capacity so the
-			// sweep varies the cache, not the application.
-			rc.WorkloadL2Lines = o.System.L2Lines()
-			if o.Warmup > 0 {
-				rc.Warmup = o.Warmup
-			}
-			if o.Instructions > 0 {
-				rc.Instructions = o.Instructions
-			}
-			res, err := Run(rc)
-			if err != nil {
-				return Table{}, err
-			}
-			perf[a] = res.Throughput
-		}
-		kb := spb * sys.Banks * sys.Ways * sys.BlockBytes / 1024
-		t.Rows = append(t.Rows, TableRow{
-			Label:  fmt.Sprintf("%dKB", kb),
-			Values: []float64{perf["shared"], perf["esp-nuca"], perf["esp-nuca"] / perf["shared"]},
-		})
+	perf, err := runSweepGrid(o, len(setsPerBank), func(pt int, a string) RunConfig {
+		rc := DefaultRunConfig(a, workload)
+		rc.System = o.System
+		rc.System.SetsPerBank = setsPerBank[pt]
+		// Pin workload footprints to the reference capacity so the
+		// sweep varies the cache, not the application.
+		rc.WorkloadL2Lines = o.System.L2Lines()
+		return rc
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for i, spb := range setsPerBank {
+		kb := spb * o.System.Banks * o.System.Ways * o.System.BlockBytes / 1024
+		t.Rows = append(t.Rows, sweepRow(fmt.Sprintf("%dKB", kb), perf[i]))
 	}
 	return t, nil
 }
@@ -102,29 +114,17 @@ func L1Sweep(workload string, l1Bytes []int, o Options) (Table, error) {
 		Title:   fmt.Sprintf("ESP-NUCA vs shared on %s across L1 sizes", workload),
 		Columns: []string{"shared", "esp-nuca", "esp/shared"},
 	}
-	for _, b := range l1Bytes {
-		sys := o.System
-		sys.L1 = coherence.L1Config{Bytes: b, Ways: 4, BlockBytes: 64, Latency: 3, TagLatency: 1}
-		perf := map[string]float64{}
-		for _, a := range []string{"shared", "esp-nuca"} {
-			rc := DefaultRunConfig(a, workload)
-			rc.System = sys
-			if o.Warmup > 0 {
-				rc.Warmup = o.Warmup
-			}
-			if o.Instructions > 0 {
-				rc.Instructions = o.Instructions
-			}
-			res, err := Run(rc)
-			if err != nil {
-				return Table{}, err
-			}
-			perf[a] = res.Throughput
-		}
-		t.Rows = append(t.Rows, TableRow{
-			Label:  fmt.Sprintf("%dKB", b/1024),
-			Values: []float64{perf["shared"], perf["esp-nuca"], perf["esp-nuca"] / perf["shared"]},
-		})
+	perf, err := runSweepGrid(o, len(l1Bytes), func(pt int, a string) RunConfig {
+		rc := DefaultRunConfig(a, workload)
+		rc.System = o.System
+		rc.System.L1 = coherence.L1Config{Bytes: l1Bytes[pt], Ways: 4, BlockBytes: 64, Latency: 3, TagLatency: 1}
+		return rc
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for i, b := range l1Bytes {
+		t.Rows = append(t.Rows, sweepRow(fmt.Sprintf("%dKB", b/1024), perf[i]))
 	}
 	return t, nil
 }

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -24,28 +23,71 @@ type entry struct {
 	call Event
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). The heap operations
+// are hand-rolled rather than delegated to container/heap: the interface
+// indirection there boxes every pushed and popped entry into an `any`,
+// which costs two heap allocations per scheduled event on the simulator's
+// hottest path. Pops never shrink the backing array, so its capacity is
+// reused for the lifetime of the engine (and across runs via Reset).
 type eventHeap []entry
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(entry)) }
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = entry{}
-	*h = old[:n-1]
-	return e
+func (h *eventHeap) push(e entry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// popMin removes and returns the minimum entry, keeping the backing
+// array's capacity and zeroing the vacated slot so the closure it held
+// becomes collectable.
+func (h *eventHeap) popMin() entry {
+	q := *h
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = entry{}
+	q = q[:n]
+	if n > 1 {
+		q.down(0)
+	}
+	*h = q
+	return min
 }
 
 // Engine is a discrete-event scheduler. The zero value is not ready for
@@ -64,6 +106,21 @@ type Engine struct {
 // NewEngine returns an empty engine positioned at cycle zero.
 func NewEngine() *Engine {
 	return &Engine{queue: make(eventHeap, 0, 1024)}
+}
+
+// Reset returns the engine to its initial state — cycle zero, empty
+// queue, zeroed counters — while keeping the queue's backing array, so a
+// caller can amortize the allocation across many runs. Pending events are
+// dropped and their closures released.
+func (e *Engine) Reset() {
+	for i := range e.queue {
+		e.queue[i] = entry{}
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.Dispatched = 0
 }
 
 // Now returns the current simulation cycle.
@@ -85,7 +142,7 @@ func (e *Engine) At(at Cycle, ev Event) {
 		panic("sim: scheduling nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, entry{at: at, seq: e.seq, call: ev})
+	e.queue.push(entry{at: at, seq: e.seq, call: ev})
 }
 
 // Pending reports the number of queued events.
@@ -101,7 +158,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(entry)
+	ev := e.queue.popMin()
 	e.now = ev.at
 	e.Dispatched++
 	ev.call()

@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the schedule+dispatch round trip — the
+// simulator's hottest path. The hand-rolled heap must not allocate per
+// event (container/heap's `any` boxing cost 2 allocs/op here).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(Cycle(i), func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleDeep measures the same round trip against a
+// standing queue, so the heap sift paths are exercised at realistic depth.
+func BenchmarkEngineScheduleDeep(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 1024; i++ {
+		e.At(Cycle(1<<40)+Cycle(i), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(Cycle(i), func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineReset measures run-to-run engine reuse.
+func BenchmarkEngineReset(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.At(Cycle(j), func() {})
+		}
+		e.Run(0)
+		e.Reset()
+	}
+}

@@ -166,6 +166,64 @@ func TestEngineMonotonicClockProperty(t *testing.T) {
 	}
 }
 
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.At(Cycle(i+1), func() { fired++ })
+	}
+	e.Run(0)
+	e.At(100, func() { fired++ }) // left pending across Reset
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Dispatched != 0 {
+		t.Fatalf("after Reset: now=%d pending=%d dispatched=%d", e.Now(), e.Pending(), e.Dispatched)
+	}
+	// A reset engine behaves exactly like a fresh one.
+	var got []int
+	e.At(10, func() { got = append(got, 10) })
+	e.At(5, func() { got = append(got, 5) })
+	e.Run(0)
+	if len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("post-Reset order = %v, want [5 10]", got)
+	}
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10 (pending event must be dropped)", fired)
+	}
+}
+
+// Property: the hand-rolled heap dispatches any mix of deferred events in
+// exactly (cycle, sequence) order, matching a stable sort of the schedule.
+func TestEngineHeapOrderProperty(t *testing.T) {
+	prop := func(delays []uint8) bool {
+		e := NewEngine()
+		type stamp struct {
+			at  Cycle
+			seq int
+		}
+		var got []stamp
+		for i, d := range delays {
+			at, i := Cycle(d), i
+			e.At(at, func() { got = append(got, stamp{at, i}) })
+		}
+		e.Run(0)
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestResourceQueueing(t *testing.T) {
 	r := NewResource(4)
 	if got := r.Claim(10); got != 10 {

@@ -59,19 +59,34 @@ func (r *Resource) ClaimFor(at, occ Cycle) Cycle {
 	}
 	r.prune()
 
-	start := at
-	insert := len(r.intervals)
-	for i, iv := range r.intervals {
-		if iv.end <= start {
-			continue
+	// Bookings are sorted by start and non-overlapping, hence sorted by
+	// end as well: everything ending at or before the arrival cannot
+	// interfere with this claim. Binary-search past that prefix instead
+	// of scanning it — a busy resource keeps thousands of live bookings
+	// inside the pruning window, and claims overwhelmingly land near the
+	// end of it.
+	n := len(r.intervals)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.intervals[mid].end <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	start := at
+	insert := n
+	for i := lo; i < n; i++ {
+		iv := r.intervals[i]
 		if start+occ <= iv.start {
 			insert = i
 			break
 		}
-		if iv.end > start {
-			start = iv.end
-		}
+		// iv.end > start holds for every booking past the search point,
+		// and ends are non-decreasing, so the claim slides to each
+		// successive end until a gap fits it.
+		start = iv.end
 		insert = i + 1
 	}
 	r.intervals = append(r.intervals, ival{})
