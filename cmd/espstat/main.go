@@ -72,7 +72,7 @@ func main() {
 		return keys[i].arch < keys[j].arch
 	})
 
-	fmt.Printf("%-12s %-14s %6s %12s %10s %10s\n", "workload", "arch", "runs", "perf", "ci95", "norm")
+	fmt.Printf("%-12s %-14s %6s %12s %12s %10s %10s\n", "workload", "arch", "runs", "perf", "median", "ci95", "norm")
 	for _, k := range keys {
 		s := stats.Summarize(groups[k])
 		norm := ""
@@ -84,7 +84,7 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("%-12s %-14s %6d %12.4f %10.4f %10s\n",
-			k.wl, k.arch, s.N, s.Mean, s.CI95, norm)
+		fmt.Printf("%-12s %-14s %6d %12.4f %12.4f %10.4f %10s\n",
+			k.wl, k.arch, s.N, s.Mean, s.Median, s.CI95, norm)
 	}
 }

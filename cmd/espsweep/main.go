@@ -10,6 +10,7 @@
 //	espsweep -stability           # S6 cross-suite variance comparison
 //	espsweep -all -parallel 8     # bound the worker pool (0 = all cores)
 //	espsweep -figure 8 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	espsweep -figure 8 -quick -metrics-dir obs -trace   # per-run telemetry
 package main
 
 import (
@@ -66,6 +67,9 @@ func main() {
 		instrs   = flag.Uint64("instructions", 0, "override measured quantum")
 		seeds    = flag.Int("seeds", 0, "override the number of perturbation seeds")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = all cores, 1 = serial)")
+		metrics  = flag.String("metrics-dir", "", "write per-run interval metrics (JSONL) into this directory")
+		traceEv  = flag.Bool("trace", false, "also write per-run Chrome trace JSON (needs -metrics-dir)")
+		obsIval  = flag.Uint64("obs-interval", 0, "telemetry sampling interval in cycles (0 = default)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -100,12 +104,18 @@ func main() {
 	for i := 0; i < *seeds; i++ {
 		seedList = append(seedList, uint64(i+1))
 	}
+	if *traceEv && *metrics == "" {
+		fail(fmt.Errorf("-trace requires -metrics-dir"))
+	}
 	fo := espnuca.FigureOptions{
-		Quick:        *quick,
-		Seeds:        seedList,
-		Instructions: *instrs,
-		Parallelism:  *parallel,
-		Progress:     (&progressLine{}).report,
+		Quick:           *quick,
+		Seeds:           seedList,
+		Instructions:    *instrs,
+		Parallelism:     *parallel,
+		Progress:        (&progressLine{}).report,
+		MetricsDir:      *metrics,
+		TraceEvents:     *traceEv,
+		MetricsInterval: *obsIval,
 	}
 
 	emit := func(id int) {

@@ -19,7 +19,9 @@ import (
 
 	"espnuca/internal/arch"
 	"espnuca/internal/cpu"
+	"espnuca/internal/experiment"
 	"espnuca/internal/mem"
+	"espnuca/internal/obs"
 	"espnuca/internal/sim"
 	"espnuca/internal/trace"
 	"espnuca/internal/workload"
@@ -36,11 +38,14 @@ func main() {
 		dinero   = flag.String("dinero", "", "export the selected core's stream as a Dinero ASCII trace")
 		replay   = flag.String("replay", "", "simulate from a recorded binary trace")
 		archName = flag.String("arch", "esp-nuca", "architecture for -replay")
+		metrics  = flag.String("metrics", "", "-replay: write interval metrics (JSONL) to this file")
+		traceOut = flag.String("trace", "", "-replay: write Chrome trace_event JSON to this file")
+		interval = flag.Uint64("interval", 0, "-replay: telemetry sampling interval in cycles (0 = default)")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		replayTrace(*replay, *archName, uint64(*n)) // 0 = trace length
+		replayTrace(*replay, *archName, uint64(*n), *metrics, *traceOut, sim.Cycle(*interval))
 		return
 	}
 	if *n == 0 {
@@ -122,33 +127,20 @@ func main() {
 		return
 	}
 
-	var memOps, writes, fetches int
-	dataLines := map[mem.Line]bool{}
-	codeLines := map[mem.Line]bool{}
-	for i := 0; i < *n; i++ {
-		in := st.Next()
-		if in.HasFetch {
-			fetches++
-			codeLines[in.Fetch] = true
-		}
-		if in.IsMem {
-			memOps++
-			if in.Write {
-				writes++
-			}
-			dataLines[in.Data] = true
-		}
-	}
-	fmt.Printf("workload        %s (%s), core %d, %d instructions\n", spec.Name, spec.Kind, *coreID, *n)
+	// The summary counts through the shared obs-backed path (see
+	// workload.SummarizeStream), the same instruments espmon attaches
+	// sinks to, so the two tools cannot drift apart.
+	sum := workload.SummarizeStream(st, *n, nil)
+	fmt.Printf("workload        %s (%s), core %d, %d instructions\n", spec.Name, spec.Kind, *coreID, sum.Instructions)
 	fmt.Printf("profile         %s\n", st.Profile().Name)
-	fmt.Printf("memory ops      %d (%.1f%% of instructions)\n", memOps, 100*float64(memOps)/float64(*n))
-	fmt.Printf("stores          %d (%.1f%% of memory ops)\n", writes, pct(writes, memOps))
-	fmt.Printf("fetch events    %d (%.1f%% of instructions)\n", fetches, 100*float64(fetches)/float64(*n))
-	fmt.Printf("data footprint  %d lines (%d KB)\n", len(dataLines), len(dataLines)*64/1024)
-	fmt.Printf("code footprint  %d lines (%d KB)\n", len(codeLines), len(codeLines)*64/1024)
+	fmt.Printf("memory ops      %d (%.1f%% of instructions)\n", sum.MemOps, 100*float64(sum.MemOps)/float64(sum.Instructions))
+	fmt.Printf("stores          %d (%.1f%% of memory ops)\n", sum.Writes, pct(sum.Writes, sum.MemOps))
+	fmt.Printf("fetch events    %d (%.1f%% of instructions)\n", sum.Fetches, 100*float64(sum.Fetches)/float64(sum.Instructions))
+	fmt.Printf("data footprint  %d lines (%d KB)\n", sum.DataLines, sum.DataLines*64/1024)
+	fmt.Printf("code footprint  %d lines (%d KB)\n", sum.CodeLines, sum.CodeLines*64/1024)
 }
 
-func pct(a, b int) float64 {
+func pct(a, b uint64) float64 {
 	if b == 0 {
 		return 0
 	}
@@ -157,8 +149,11 @@ func pct(a, b int) float64 {
 
 // replayTrace simulates a recorded trace on the given architecture. Each
 // core retires n instructions (default: the trace length), replaying its
-// recorded sequence and wrapping if the budget exceeds it.
-func replayTrace(path, archName string, n uint64) {
+// recorded sequence and wrapping if the budget exceeds it. When metrics
+// or traceOut are set the run is instrumented through the same
+// experiment.Instrument path the harness uses, so the replayer emits the
+// same per-bank/NoC/DRAM series as espmon and espsweep.
+func replayTrace(path, archName string, n uint64, metrics, traceOut string, interval sim.Cycle) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esptrace:", err)
@@ -177,6 +172,25 @@ func replayTrace(path, archName string, n uint64) {
 		os.Exit(1)
 	}
 	eng := sim.NewEngine()
+
+	var reg *obs.Registry
+	if metrics != "" || traceOut != "" {
+		reg = obs.NewRegistry()
+		if metrics != "" {
+			mf, err := os.Create(metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "esptrace:", err)
+				os.Exit(1)
+			}
+			defer mf.Close()
+			reg.AttachJSONL(mf)
+		}
+		if traceOut != "" {
+			reg.EnableTrace()
+		}
+		experiment.Instrument(eng, sys, reg, interval)
+	}
+
 	cores := make([]*cpu.Core, rep.Cores())
 	for c := range cores {
 		target := n
@@ -200,6 +214,29 @@ func replayTrace(path, archName string, n uint64) {
 		retired += c.Retired()
 		if c.Time() > maxT {
 			maxT = c.Time()
+		}
+	}
+	if reg != nil {
+		reg.Tick(uint64(eng.Now()))
+		reg.Trace().Complete("replay", "phase", 0, uint64(maxT), 0)
+		if err := reg.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "esptrace:", err)
+			os.Exit(1)
+		}
+		if traceOut != "" {
+			tf, err := os.Create(traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "esptrace:", err)
+				os.Exit(1)
+			}
+			werr := reg.Trace().WriteJSON(tf)
+			if cerr := tf.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "esptrace:", werr)
+				os.Exit(1)
+			}
 		}
 	}
 	sub := sys.Sub()

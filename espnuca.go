@@ -35,6 +35,7 @@ import (
 	"espnuca/internal/arch"
 	"espnuca/internal/cpu"
 	"espnuca/internal/experiment"
+	"espnuca/internal/sim"
 	"espnuca/internal/workload"
 )
 
@@ -133,6 +134,18 @@ type FigureOptions struct {
 	// Progress, when non-nil, receives completion updates. Calls are
 	// serialized and done only moves forward, even under parallelism.
 	Progress func(done, total int)
+	// MetricsDir, when set, captures per-run telemetry: every simulation
+	// writes <variant>_<workload>_s<seed>.metrics.jsonl (interval
+	// snapshots of per-bank hit rates, helping blocks, ESP-NUCA nmax/EMA
+	// series, NoC and DRAM utilization) into this directory. Simulation
+	// results are unaffected.
+	MetricsDir string
+	// TraceEvents additionally records a Perfetto-loadable Chrome
+	// trace_event JSON per run (requires MetricsDir).
+	TraceEvents bool
+	// MetricsInterval is the sampling interval in cycles (0 uses the
+	// harness default).
+	MetricsInterval uint64
 }
 
 func (fo FigureOptions) internal() experiment.Options {
@@ -148,6 +161,13 @@ func (fo FigureOptions) internal() experiment.Options {
 	}
 	o.Parallelism = fo.Parallelism
 	o.Progress = fo.Progress
+	if fo.MetricsDir != "" {
+		o.Obs = &experiment.ObsSpec{
+			Dir:      fo.MetricsDir,
+			Interval: sim.Cycle(fo.MetricsInterval),
+			Trace:    fo.TraceEvents,
+		}
+	}
 	return o
 }
 

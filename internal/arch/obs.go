@@ -1,0 +1,124 @@
+package arch
+
+import (
+	"fmt"
+
+	"espnuca/internal/cache"
+	"espnuca/internal/obs"
+	"espnuca/internal/sim"
+)
+
+// Observable is implemented by architectures with adaptive internal state
+// worth exporting beyond the substrate-level telemetry (ESP-NUCA's
+// per-bank nmax budgets and EMA estimators). The experiment harness
+// attaches it in addition to Substrate.AttachObs.
+type Observable interface {
+	AttachObs(reg *obs.Registry)
+}
+
+// AttachObs registers substrate-level telemetry probes on reg: per-bank
+// per-interval hit rates and live helping-block occupancy, NoC link
+// utilization and queuing delay, DRAM channel occupancy, and cumulative
+// traffic counters. Probes poll component statistics on each registry
+// Tick, so between ticks the simulation pays nothing.
+func (s *Substrate) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	nb := len(s.Bank)
+	hit := make([]*obs.Series, nb)
+	helping := make([]*obs.Series, nb)
+	for i := range s.Bank {
+		hit[i] = reg.Series(fmt.Sprintf("bank%02d.hitrate", i))
+		helping[i] = reg.Series(fmt.Sprintf("bank%02d.helping", i))
+	}
+	var (
+		lookupsC = reg.Counter("l2.lookups")
+		hitsC    = reg.Counter("l2.hits")
+		missesC  = reg.Counter("l2.misses")
+		dramR    = reg.Counter("dram.reads")
+		dramW    = reg.Counter("dram.writes")
+		nocMsgs  = reg.Counter("noc.messages")
+		linkUtil = reg.Gauge("noc.link_util")
+		dramOcc  = reg.Gauge("dram.occupancy")
+		qdelay   = reg.Series("noc.queue_delay")
+	)
+	prev := make([]cache.Stats, nb)
+	var prevReads, prevWrites, prevMsgs uint64
+	var prevWaits sim.Cycle
+	reg.OnTick(func(now uint64) {
+		var dLook, dHit uint64
+		for i, b := range s.Bank {
+			st := b.Stats
+			dl := st.Lookups - prev[i].Lookups
+			dh := st.Hits - prev[i].Hits
+			if dl > 0 {
+				hit[i].Append(now, float64(dh)/float64(dl))
+			}
+			helping[i].Append(now, float64(b.HelpingBlocks()))
+			prev[i] = st
+			dLook += dl
+			dHit += dh
+		}
+		lookupsC.Add(dLook)
+		hitsC.Add(dHit)
+		missesC.Add(dLook - dHit)
+		dramR.Add(s.DRAM.Reads - prevReads)
+		prevReads = s.DRAM.Reads
+		dramW.Add(s.DRAM.Writes - prevWrites)
+		prevWrites = s.DRAM.Writes
+		dMsgs := s.Mesh.Messages - prevMsgs
+		nocMsgs.Add(dMsgs)
+		prevMsgs = s.Mesh.Messages
+		waits := s.Mesh.LinkWaits()
+		if dMsgs > 0 {
+			qdelay.Append(now, float64(waits-prevWaits)/float64(dMsgs))
+		}
+		prevWaits = waits
+		linkUtil.Set(s.Mesh.LinkUtilization(sim.Cycle(now)))
+		dramOcc.Set(s.DRAM.Utilization(sim.Cycle(now)))
+	})
+}
+
+// AttachObs implements Observable: per-bank series of the live nmax
+// budget and the three EMA hit-rate estimators, plus helping-block
+// creation counters. Flat-LRU ESP-NUCA has no samplers and exports only
+// the counters.
+func (a *ESPNUCA) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	var (
+		replicas = reg.Counter("esp.replicas")
+		victims  = reg.Counter("esp.victims")
+		refused  = reg.Counter("esp.refused")
+	)
+	type bankSeries struct{ nmax, hrc, hrr, hre *obs.Series }
+	banks := make([]bankSeries, len(a.samplers))
+	for i := range a.samplers {
+		banks[i] = bankSeries{
+			nmax: reg.Series(fmt.Sprintf("bank%02d.nmax", i)),
+			hrc:  reg.Series(fmt.Sprintf("bank%02d.hrc", i)),
+			hrr:  reg.Series(fmt.Sprintf("bank%02d.hrr", i)),
+			hre:  reg.Series(fmt.Sprintf("bank%02d.hre", i)),
+		}
+	}
+	var prevR, prevV, prevRef uint64
+	reg.OnTick(func(now uint64) {
+		replicas.Add(a.Replicas - prevR)
+		prevR = a.Replicas
+		victims.Add(a.Victims - prevV)
+		prevV = a.Victims
+		refused.Add(a.RefusedHelping - prevRef)
+		prevRef = a.RefusedHelping
+		for i, smp := range a.samplers {
+			banks[i].nmax.Append(now, float64(smp.NMax()))
+			hrc, hrr, hre := smp.Rates()
+			banks[i].hrc.Append(now, hrc)
+			banks[i].hrr.Append(now, hrr)
+			banks[i].hre.Append(now, hre)
+		}
+	})
+}
+
+var _ Observable = (*ESPNUCA)(nil)

@@ -109,6 +109,17 @@ func NewBank(cfg Config) (*Bank, error) {
 // Config returns the bank geometry.
 func (b *Bank) Config() Config { return b.cfg }
 
+// HelpingBlocks returns the number of helping blocks currently resident in
+// the bank (the sum of the per-set n counters); the observability layer
+// samples it into per-bank occupancy series.
+func (b *Bank) HelpingBlocks() int {
+	n := 0
+	for i := range b.sets {
+		n += b.sets[i].HelpCount
+	}
+	return n
+}
+
 // Sets returns the number of sets.
 func (b *Bank) Sets() int { return len(b.sets) }
 

@@ -59,6 +59,8 @@ type Options struct {
 	// sweeps fan their independent simulations out over (0: all cores,
 	// 1: serial). Results are deterministic at any setting.
 	Parallelism int
+	// Obs, when non-nil, captures per-run telemetry files (see ObsSpec).
+	Obs *ObsSpec
 }
 
 // DefaultOptions is the full-quality setting used by cmd/espsweep.
@@ -84,6 +86,7 @@ func (o Options) matrix(workloads []string, variants []Variant) Matrix {
 	}
 	m.System = o.System
 	m.Parallelism = o.Parallelism
+	m.Obs = o.Obs
 	return m
 }
 

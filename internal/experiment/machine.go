@@ -12,6 +12,7 @@ import (
 
 	"espnuca/internal/arch"
 	"espnuca/internal/cpu"
+	"espnuca/internal/obs"
 	"espnuca/internal/sim"
 	"espnuca/internal/workload"
 )
@@ -44,6 +45,17 @@ type RunConfig struct {
 	WorkloadL2Lines int
 	// MaxCycles bounds runaway simulations (0 = no bound).
 	MaxCycles sim.Cycle
+
+	// Metrics, when non-nil, receives this run's telemetry (see
+	// internal/obs): interval snapshots of per-bank hit rates and helping
+	// blocks, ESP-NUCA's nmax/EMA series, NoC and DRAM utilization, and
+	// the engine dispatch profile, plus warmup/measured phase events when
+	// tracing is enabled. Each run needs its own registry; the matrix
+	// runner creates one per cell.
+	Metrics *obs.Registry
+	// MetricsInterval is the sampling interval in cycles (0 uses
+	// DefaultMetricsInterval). Ignored without Metrics.
+	MetricsInterval sim.Cycle
 }
 
 // DefaultRunConfig returns the harness defaults: the scaled system (all
@@ -136,6 +148,9 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 		cores[c].SetWarmup(rc.Warmup)
 		cores[c].Start()
 	}
+	if rc.Metrics != nil {
+		Instrument(eng, sys, rc.Metrics, rc.MetricsInterval)
+	}
 
 	// Phase 1: run until every measured core has crossed its own warmup
 	// boundary (each core's measured window is delimited per-core, so
@@ -153,6 +168,7 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 		}
 		eng.RunUntil(rc.MaxCycles, warmDone)
 	}
+	warmEnd := eng.Now()
 	base := snapshot(sub)
 
 	// Phase 2: measured execution.
@@ -165,6 +181,16 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 		return true
 	}
 	eng.RunUntil(rc.MaxCycles, allDone)
+
+	if rc.Metrics != nil {
+		// Close the final (possibly partial) sampling interval, then mark
+		// the phase boundaries on the trace timeline (nil-safe when
+		// tracing is off).
+		rc.Metrics.Tick(uint64(eng.Now()))
+		tr := rc.Metrics.Trace()
+		tr.Complete("warmup", "phase", 0, uint64(warmEnd), 0)
+		tr.Complete("measured", "phase", uint64(warmEnd), uint64(eng.Now()-warmEnd), 0)
+	}
 
 	res := RunResult{Arch: rc.Arch, Workload: rc.Workload, Seed: rc.Seed}
 	var retired uint64

@@ -57,6 +57,9 @@ type Matrix struct {
 	// execution. Every cell is an independent deterministic simulation,
 	// so the assembled Results are identical at any setting.
 	Parallelism int
+	// Obs, when non-nil, captures per-run telemetry: each cell gets its
+	// own registry writing to Obs.Dir (simulation results are unaffected).
+	Obs *ObsSpec
 }
 
 // NewMatrix returns a matrix with harness defaults (scaled system, three
@@ -128,7 +131,23 @@ func (m Matrix) Run(progress func(done, total int)) (Results, error) {
 		if v.CCProb >= 0 {
 			rc.System.CCProbability = v.CCProb
 		}
+		var finish func() error
+		if m.Obs != nil {
+			name := fmt.Sprintf("%s_%s_s%d", v.Label, m.Workloads[wi], m.Seeds[si])
+			reg, fin, oerr := m.Obs.open(name)
+			if oerr != nil {
+				return fmt.Errorf("%s/%s seed %d: %w", v.Label, m.Workloads[wi], m.Seeds[si], oerr)
+			}
+			rc.Metrics = reg
+			rc.MetricsInterval = m.Obs.Interval
+			finish = fin
+		}
 		res, err := Run(rc)
+		if finish != nil {
+			if ferr := finish(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("%s/%s seed %d: %w", v.Label, m.Workloads[wi], m.Seeds[si], err)
 		}

@@ -53,8 +53,28 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	return d
 }
 
+// Config returns the memory configuration.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
 // Channels returns the number of memory controllers.
 func (d *DRAM) Channels() int { return d.cfg.Channels }
+
+// Utilization returns the mean channel occupancy over the first now
+// cycles, in [0,1].
+func (d *DRAM) Utilization(now sim.Cycle) float64 {
+	if now == 0 || len(d.channels) == 0 {
+		return 0
+	}
+	var busy sim.Cycle
+	for _, ch := range d.channels {
+		busy += ch.Busy
+	}
+	u := float64(busy) / (float64(now) * float64(len(d.channels)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
 
 // ChannelOf maps a line to its controller (block interleaving).
 func (d *DRAM) ChannelOf(l Line) int { return int(uint64(l) % uint64(len(d.channels))) }

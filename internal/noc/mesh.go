@@ -225,6 +225,30 @@ func (m *Mesh) linkFor(from, to NodeID) *sim.Resource {
 	panic(fmt.Sprintf("noc: %d -> %d is not a mesh edge", from, to))
 }
 
+// LinkCount returns the number of unidirectional links the mesh models
+// (four outgoing per router; edge links exist but never carry traffic
+// under DOR routing).
+func (m *Mesh) LinkCount() int { return 4 * m.nodes }
+
+// LinkUtilization returns the mean link occupancy over the first now
+// cycles, in [0,1], averaged across every link.
+func (m *Mesh) LinkUtilization(now sim.Cycle) float64 {
+	if now == 0 {
+		return 0
+	}
+	var busy sim.Cycle
+	for d := 0; d < 4; d++ {
+		for _, l := range m.links[d] {
+			busy += l.Busy
+		}
+	}
+	u := float64(busy) / (float64(now) * float64(m.LinkCount()))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
 // LinkWaits returns total cycles messages spent queued on links, an
 // aggregate congestion indicator.
 func (m *Mesh) LinkWaits() sim.Cycle {

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Trace collects events in the Chrome trace_event format (the JSON Array
+// / JSON Object format understood by chrome://tracing and Perfetto).
+// Simulated cycles map one-to-one onto the format's microsecond `ts`
+// field, so the viewer's timeline reads directly in cycles.
+//
+// All methods are safe on a nil receiver, so components can hold a
+// possibly-nil *Trace and emit unconditionally.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// TraceEvent is one trace_event record. Field names follow the format
+// specification, not Go conventions.
+type TraceEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat,omitempty"`
+	Ph   string             `json:"ph"`
+	Ts   uint64             `json:"ts"`
+	Dur  uint64             `json:"dur,omitempty"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// NewTrace returns an empty trace sink.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) append(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Complete records a duration ("X") event spanning [ts, ts+dur) on the
+// given track (tid).
+func (t *Trace) Complete(name, cat string, ts, dur uint64, tid int) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Tid: tid})
+}
+
+// Instant records a point-in-time ("i") event on the given track.
+func (t *Trace) Instant(name, cat string, ts uint64, tid int) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Cat: cat, Ph: "i", Ts: ts, Tid: tid})
+}
+
+// CounterValue records a counter ("C") sample; Perfetto renders each
+// distinct name as its own counter track.
+func (t *Trace) CounterValue(name string, ts uint64, v float64) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{Name: name, Ph: "C", Ts: ts, Args: map[string]float64{"value": v}})
+}
+
+// Counter records a multi-valued counter sample: args become stacked
+// sub-series of one track.
+func (t *Trace) Counter(name string, ts uint64, args map[string]float64) {
+	if t == nil {
+		return
+	}
+	cp := make(map[string]float64, len(args))
+	for k, v := range args {
+		cp[k] = v
+	}
+	t.append(TraceEvent{Name: name, Ph: "C", Ts: ts, Args: cp})
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// traceFile is the JSON Object trace container.
+type traceFile struct {
+	TraceEvents []TraceEvent      `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the trace in the JSON Object format. The output is
+// deterministic for a given event sequence (encoding/json sorts the args
+// maps by key), which the golden-file test relies on.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	if evs == nil {
+		evs = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		TraceEvents: evs,
+		OtherData:   map[string]string{"ts_unit": "1 ts = 1 simulated cycle"},
+	})
+}

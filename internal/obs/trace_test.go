@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// buildSampleTrace produces a small deterministic trace exercising every
+// event kind the exporter emits.
+func buildSampleTrace() *Trace {
+	tr := NewTrace()
+	tr.Complete("warmup", "phase", 0, 25_000, 0)
+	tr.Complete("measured", "phase", 25_000, 40_000, 0)
+	tr.Instant("adaptation", "espnuca", 31_000, 1)
+	tr.CounterValue("bank00.nmax", 30_000, 3)
+	tr.CounterValue("bank00.nmax", 35_000, 4)
+	tr.Counter("bank00.ema", 35_000, map[string]float64{"hrc": 0.91, "hre": 0.88, "hrr": 0.93})
+	return tr
+}
+
+// TestChromeTraceGolden locks the exact exporter output against
+// testdata/trace_golden.json: the format is consumed by external tools
+// (chrome://tracing, Perfetto), so byte-level drift is a compatibility
+// bug, not a refactor detail.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSampleTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output drifted from golden file\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural contract the viewers
+// rely on: a traceEvents array of objects each holding name/ph/ts/pid/tid.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSampleTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(f.TraceEvents))
+	}
+	for i, ev := range f.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+	}
+}
+
+func TestEmptyTraceWritesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON for empty trace: %v", err)
+	}
+	if f.TraceEvents == nil || len(f.TraceEvents) != 0 {
+		t.Fatalf("traceEvents = %v, want empty array", f.TraceEvents)
+	}
+}

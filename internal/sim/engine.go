@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 )
 
 // Cycle is an absolute point in simulated time, measured in core clock
@@ -90,6 +91,17 @@ func (h *eventHeap) popMin() entry {
 	return min
 }
 
+// Probe observes engine internals when attached via SetProbe: the
+// observability layer uses it to sample event-dispatch latency and queue
+// depth. When no probe is attached the only per-event cost is one nil
+// check in Step.
+type Probe interface {
+	// OnDispatch runs after each event executes: now is the event's
+	// cycle, depth the queue depth after the pop, and wallNS the
+	// host-side execution time of the callback in nanoseconds.
+	OnDispatch(now Cycle, depth int, wallNS int64)
+}
+
 // Engine is a discrete-event scheduler. The zero value is not ready for
 // use; call NewEngine.
 type Engine struct {
@@ -97,6 +109,11 @@ type Engine struct {
 	seq     uint64
 	queue   eventHeap
 	stopped bool
+	// probed mirrors probe != nil: a one-byte flag on the same cache
+	// line as the other hot fields, so the disabled-path check in Step
+	// never touches the interface words.
+	probed bool
+	probe  Probe
 
 	// Dispatched counts events executed so far; useful for run budgets
 	// and regression tests.
@@ -120,7 +137,16 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.stopped = false
+	e.probe = nil
+	e.probed = false
 	e.Dispatched = 0
+}
+
+// SetProbe attaches (or, with nil, detaches) an engine probe. Reset also
+// detaches it, so pooled engines never leak a probe across runs.
+func (e *Engine) SetProbe(p Probe) {
+	e.probe = p
+	e.probed = p != nil
 }
 
 // Now returns the current simulation cycle.
@@ -161,8 +187,21 @@ func (e *Engine) Step() bool {
 	ev := e.queue.popMin()
 	e.now = ev.at
 	e.Dispatched++
+	if e.probed {
+		e.dispatchProbed(ev.call)
+		return true
+	}
 	ev.call()
 	return true
+}
+
+// dispatchProbed runs one event under wall-clock measurement for the
+// attached probe. Kept out of Step so the probe-free dispatch path stays
+// small enough to inline.
+func (e *Engine) dispatchProbed(call Event) {
+	start := time.Now()
+	call()
+	e.probe.OnDispatch(e.now, len(e.queue), time.Since(start).Nanoseconds())
 }
 
 // Run executes events until the queue drains, Stop is called, or the clock

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// recordingProbe captures OnDispatch calls for assertions.
+type recordingProbe struct {
+	calls  int
+	last   Cycle
+	depths []int
+}
+
+func (p *recordingProbe) OnDispatch(now Cycle, depth int, wallNS int64) {
+	p.calls++
+	p.last = now
+	p.depths = append(p.depths, depth)
+	if wallNS < 0 {
+		panic("negative wall time")
+	}
+}
+
+func TestEngineProbeObservesDispatches(t *testing.T) {
+	e := NewEngine()
+	p := &recordingProbe{}
+	e.SetProbe(p)
+	for i := 0; i < 4; i++ {
+		e.At(Cycle(i*10), func() {})
+	}
+	e.Run(0)
+	if p.calls != 4 {
+		t.Fatalf("probe saw %d dispatches, want 4", p.calls)
+	}
+	if p.last != 30 {
+		t.Fatalf("last probed cycle = %d, want 30", p.last)
+	}
+	// Queue depth after each pop: 3, 2, 1, 0.
+	for i, d := range p.depths {
+		if want := 3 - i; d != want {
+			t.Fatalf("depth[%d] = %d, want %d", i, d, want)
+		}
+	}
+}
+
+func TestEngineResetDetachesProbe(t *testing.T) {
+	e := NewEngine()
+	p := &recordingProbe{}
+	e.SetProbe(p)
+	e.At(0, func() {})
+	e.Run(0)
+	e.Reset()
+	e.At(0, func() {})
+	e.Run(0)
+	if p.calls != 1 {
+		t.Fatalf("probe saw %d dispatches after Reset, want 1", p.calls)
+	}
+}

@@ -82,8 +82,8 @@ func CI95(xs []float64) float64 {
 
 // Summary bundles the descriptive statistics reported for each data point.
 type Summary struct {
-	Mean, Min, Max, StdDev, CI95 float64
-	N                            int
+	Mean, Median, Min, Max, StdDev, CI95 float64
+	N                                    int
 }
 
 // Summarize computes a Summary of xs.
@@ -102,6 +102,7 @@ func Summarize(xs []float64) Summary {
 	}
 	return Summary{
 		Mean:   Mean(xs),
+		Median: Median(xs),
 		Min:    min,
 		Max:    max,
 		StdDev: StdDev(xs),

@@ -62,7 +62,18 @@ func TestSummarize(t *testing.T) {
 	if s.Min != 1 || s.Max != 3 || !approx(s.Mean, 2, 1e-12) || s.N != 3 {
 		t.Fatalf("Summary = %+v", s)
 	}
-	if z := Summarize(nil); z.N != 0 {
+	if s.Median != 2 {
+		t.Fatalf("Summary.Median = %g, want 2", s.Median)
+	}
+	// A skewed sample: the median must resist the outlier the mean follows.
+	sk := Summarize([]float64{1, 2, 3, 100})
+	if sk.Median != 2.5 {
+		t.Fatalf("skewed Summary.Median = %g, want 2.5", sk.Median)
+	}
+	if sk.Mean <= sk.Median {
+		t.Fatalf("outlier should pull Mean (%g) above Median (%g)", sk.Mean, sk.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Median != 0 {
 		t.Fatalf("empty Summary = %+v", z)
 	}
 }

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"espnuca/internal/mem"
+	"espnuca/internal/obs"
+)
+
+// StreamSummary describes the memory behaviour of a stream prefix: the
+// access mix and the touched footprints. The workload models were
+// calibrated against the paper's descriptions using these numbers.
+type StreamSummary struct {
+	Instructions uint64
+	MemOps       uint64
+	Writes       uint64
+	Fetches      uint64
+	// DataLines and CodeLines are the distinct 64 B lines touched.
+	DataLines int
+	CodeLines int
+}
+
+// SummarizeStream drives n instructions of st and accumulates the access
+// mix through reg's counters (stream.instructions, stream.mem_ops,
+// stream.writes, stream.fetches), so any interval sink attached to reg
+// sees exactly the counts the returned summary reports — one counting
+// path, no drift. A nil reg gets a private registry.
+func SummarizeStream(st *Stream, n int, reg *obs.Registry) StreamSummary {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var (
+		instrs  = reg.Counter("stream.instructions")
+		memOps  = reg.Counter("stream.mem_ops")
+		writes  = reg.Counter("stream.writes")
+		fetches = reg.Counter("stream.fetches")
+	)
+	// The summary reports this call's contribution even when the caller
+	// reuses a registry with prior counts.
+	base := StreamSummary{
+		Instructions: instrs.Value(),
+		MemOps:       memOps.Value(),
+		Writes:       writes.Value(),
+		Fetches:      fetches.Value(),
+	}
+	data := make(map[mem.Line]struct{})
+	code := make(map[mem.Line]struct{})
+	for i := 0; i < n; i++ {
+		in := st.Next()
+		instrs.Inc()
+		if in.HasFetch {
+			fetches.Inc()
+			code[in.Fetch] = struct{}{}
+		}
+		if in.IsMem {
+			memOps.Inc()
+			if in.Write {
+				writes.Inc()
+			}
+			data[in.Data] = struct{}{}
+		}
+	}
+	return StreamSummary{
+		Instructions: instrs.Value() - base.Instructions,
+		MemOps:       memOps.Value() - base.MemOps,
+		Writes:       writes.Value() - base.Writes,
+		Fetches:      fetches.Value() - base.Fetches,
+		DataLines:    len(data),
+		CodeLines:    len(code),
+	}
+}
