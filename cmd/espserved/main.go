@@ -1,0 +1,114 @@
+// Command espserved is the simulation-as-a-service daemon: it serves
+// the experiment harness over HTTP, scheduling submitted jobs on a
+// bounded priority queue and memoizing every simulation in a
+// content-addressed result cache, so identical requests — across jobs,
+// clients and restarts — cost one run.
+//
+// Usage:
+//
+//	espserved -addr :8585 -cache-dir /var/cache/espnuca
+//	espserved -workers 2 -parallel 0 -queue 256
+//
+// API (see internal/service):
+//
+//	GET    /healthz                 liveness
+//	GET    /metricsz                service metrics + cache stats
+//	POST   /v1/jobs                 submit {"run": {...}} or {"matrix": {...}}
+//	GET    /v1/jobs                 list
+//	GET    /v1/jobs/{id}            status (+result when done)
+//	DELETE /v1/jobs/{id}            cancel
+//	GET    /v1/jobs/{id}/result     result payload
+//	GET    /v1/jobs/{id}/events     progress stream (SSE; ?format=jsonl)
+//	GET    /v1/cache/stats          result-cache counters
+//
+// On SIGTERM/SIGINT the daemon stops accepting work, cancels queued
+// jobs, lets in-flight jobs finish (bounded by -drain-timeout) and
+// persists the cache index.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"espnuca/internal/resultcache"
+	"espnuca/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8585", "listen address")
+		cacheDir = flag.String("cache-dir", "", "result cache directory (empty: in-memory cache only)")
+		memEnts  = flag.Int("mem-entries", 0, "in-memory cache tier capacity (0 = default)")
+		workers  = flag.Int("workers", 2, "jobs executed concurrently")
+		queue    = flag.Int("queue", 0, "bounded queue limit (0 = default)")
+		parallel = flag.Int("parallel", 0, "per-matrix-job worker pool bound (0 = all cores)")
+		drainT   = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	log.SetPrefix("espserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	store, err := resultcache.Open(*cacheDir, resultcache.Options{MemEntries: *memEnts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueLimit: *queue,
+		Runner:     &service.SimRunner{Cache: store, Parallelism: *parallel},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched, store)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The bound address line is machine-readable (the CI smoke test and
+	// scripts scrape it when -addr :0 picks a free port).
+	fmt.Printf("espserved listening on %s\n", ln.Addr())
+	if *cacheDir != "" {
+		log.Printf("result cache at %s", *cacheDir)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sched.Drain(ctx); err != nil {
+		log.Printf("drain: %v (in-flight jobs were force-canceled)", err)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("cache index: %v", err)
+	} else if *cacheDir != "" {
+		log.Printf("cache index persisted")
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -11,6 +11,7 @@
 //	espsweep -all -parallel 8     # bound the worker pool (0 = all cores)
 //	espsweep -figure 8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	espsweep -figure 8 -quick -metrics-dir obs -trace   # per-run telemetry
+//	espsweep -all -cache-dir ~/.cache/espnuca           # memoize runs on disk
 package main
 
 import (
@@ -20,33 +21,47 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"time"
 
 	"espnuca"
 	"espnuca/internal/arch"
 	"espnuca/internal/core"
 	"espnuca/internal/experiment"
+	"espnuca/internal/resultcache"
 	"espnuca/internal/sim"
 )
 
 // progressLine is a goroutine-safe `\r<done>/<total>` printer. Matrix
 // workers report completions concurrently; the line only ever moves
-// forward, and the terminating newline is printed exactly once.
+// forward, and on the final update it closes with an elapsed-time
+// summary and exactly one newline, so subsequent table output starts
+// on a fresh line.
 type progressLine struct {
 	mu     sync.Mutex
 	last   int
 	prefix string
+	start  time.Time
+}
+
+// newProgress starts the clock at construction so the summary covers
+// the whole batch, including the first run.
+func newProgress(prefix string) *progressLine {
+	return &progressLine{prefix: prefix, start: time.Now()}
 }
 
 func (p *progressLine) report(done, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
 	if done <= p.last {
 		return
 	}
 	p.last = done
 	fmt.Fprintf(os.Stderr, "\r%s%d/%d runs", p.prefix, done, total)
 	if done == total {
-		fmt.Fprintln(os.Stderr)
+		fmt.Fprintf(os.Stderr, " in %.1fs\n", time.Since(p.start).Seconds())
 	}
 }
 
@@ -70,6 +85,7 @@ func main() {
 		metrics  = flag.String("metrics-dir", "", "write per-run interval metrics (JSONL) into this directory")
 		traceEv  = flag.Bool("trace", false, "also write per-run Chrome trace JSON (needs -metrics-dir)")
 		obsIval  = flag.Uint64("obs-interval", 0, "telemetry sampling interval in cycles (0 = default)")
+		cacheDir = flag.String("cache-dir", "", "memoize simulations in a content-addressed result cache at this directory")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -112,15 +128,16 @@ func main() {
 		Seeds:           seedList,
 		Instructions:    *instrs,
 		Parallelism:     *parallel,
-		Progress:        (&progressLine{}).report,
+		Progress:        newProgress("").report,
 		MetricsDir:      *metrics,
 		TraceEvents:     *traceEv,
 		MetricsInterval: *obsIval,
+		CacheDir:        *cacheDir,
 	}
 
 	emit := func(id int) {
 		fo := fo
-		fo.Progress = (&progressLine{}).report // fresh counter per figure
+		fo.Progress = newProgress("").report // fresh counter per figure
 		tab, err := espnuca.Figure(id, fo)
 		if err != nil {
 			fail(err)
@@ -134,11 +151,11 @@ func main() {
 
 	switch {
 	case *stab:
-		stability(*quick, *parallel)
+		stability(*quick, *parallel, *cacheDir)
 	case *sweep == "params":
-		sweepParams(*quick, *parallel)
+		sweepParams(*quick, *parallel, *cacheDir)
 	case *sweep == "hops" || *sweep == "capacity" || *sweep == "l1":
-		scalingSweep(*sweep, *quick, *parallel)
+		scalingSweep(*sweep, *quick, *parallel, *cacheDir)
 	case *all:
 		for id := 4; id <= 10; id++ {
 			emit(id)
@@ -152,6 +169,24 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// cachedRunner opens the content-addressed result cache when dir is
+// non-empty and returns a memoizing run function (nil when uncached)
+// plus a close func that persists the cache index.
+func cachedRunner(dir string) (func(experiment.RunConfig) (experiment.RunResult, error), func()) {
+	if dir == "" {
+		return nil, func() {}
+	}
+	store, err := resultcache.Open(dir, resultcache.Options{})
+	if err != nil {
+		fail(err)
+	}
+	return store.Runner(), func() {
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "espsweep: cache index:", err)
+		}
 	}
 }
 
@@ -178,7 +213,9 @@ func printTable2() {
 // protected-LRU constants (paper S5.2's sensitivity analysis). The whole
 // workload x variant grid runs as one parallel batch; results print in
 // grid order afterwards.
-func sweepParams(quick bool, parallel int) {
+func sweepParams(quick bool, parallel int, cacheDir string) {
+	run, closeCache := cachedRunner(cacheDir)
+	defer closeCache()
 	workloads := []string{"apache", "CG"}
 	instrs := uint64(40_000)
 	if quick {
@@ -212,7 +249,7 @@ func sweepParams(quick bool, parallel int) {
 			rcs = append(rcs, rc)
 		}
 	}
-	results, err := experiment.RunAll(parallel, rcs)
+	results, err := experiment.RunAllFunc(parallel, run, rcs)
 	if err != nil {
 		fail(err)
 	}
@@ -230,13 +267,16 @@ func sweepParams(quick bool, parallel int) {
 // stability reproduces the paper's S6 variance claims: the variance of
 // shared-normalized performance across each workload family, per
 // architecture, and ESP-NUCA's reduction versus its counterparts.
-func stability(quick bool, parallel int) {
+func stability(quick bool, parallel int, cacheDir string) {
+	run, closeCache := cachedRunner(cacheDir)
+	defer closeCache()
 	o := experiment.DefaultOptions()
 	if quick {
 		o = experiment.QuickOptions()
 	}
 	o.Parallelism = parallel
-	o.Progress = (&progressLine{prefix: "stability "}).report
+	o.RunFunc = run
+	o.Progress = newProgress("stability ").report
 	reports, err := experiment.StabilityStudy(experiment.StabilityFamilies(), o)
 	if err != nil {
 		fail(err)
@@ -248,12 +288,15 @@ func stability(quick bool, parallel int) {
 
 // scalingSweep runs the extension scaling studies (wire delay, L2
 // capacity, L1 size) on a representative transactional workload.
-func scalingSweep(kind string, quick bool, parallel int) {
+func scalingSweep(kind string, quick bool, parallel int, cacheDir string) {
+	run, closeCache := cachedRunner(cacheDir)
+	defer closeCache()
 	o := experiment.DefaultOptions()
 	if quick {
 		o = experiment.QuickOptions()
 	}
 	o.Parallelism = parallel
+	o.RunFunc = run
 	var tab experiment.Table
 	var err error
 	switch kind {

@@ -35,6 +35,7 @@ import (
 	"espnuca/internal/arch"
 	"espnuca/internal/cpu"
 	"espnuca/internal/experiment"
+	"espnuca/internal/resultcache"
 	"espnuca/internal/sim"
 	"espnuca/internal/workload"
 )
@@ -146,6 +147,14 @@ type FigureOptions struct {
 	// MetricsInterval is the sampling interval in cycles (0 uses the
 	// harness default).
 	MetricsInterval uint64
+	// CacheDir, when set, memoizes every simulation in a
+	// content-addressed result cache rooted at this directory (see
+	// internal/resultcache). Re-running a figure with a warm cache
+	// replays stored results instead of simulating; because cache keys
+	// cover the full RunConfig and code version, the output is
+	// bit-for-bit identical either way. Instrumented runs (MetricsDir
+	// set) bypass the cache.
+	CacheDir string
 }
 
 func (fo FigureOptions) internal() experiment.Options {
@@ -175,6 +184,14 @@ func (fo FigureOptions) internal() experiment.Options {
 // table of the same series the paper plots.
 func Figure(id int, fo FigureOptions) (Table, error) {
 	o := fo.internal()
+	if fo.CacheDir != "" {
+		store, err := resultcache.Open(fo.CacheDir, resultcache.Options{})
+		if err != nil {
+			return Table{}, err
+		}
+		defer store.Close()
+		o.RunFunc = store.Runner()
+	}
 	switch id {
 	case 4:
 		return experiment.Figure4(o)

@@ -61,6 +61,9 @@ type Options struct {
 	Parallelism int
 	// Obs, when non-nil, captures per-run telemetry files (see ObsSpec).
 	Obs *ObsSpec
+	// RunFunc, when non-nil, substitutes Run for every independent
+	// simulation (see Matrix.RunFunc); the result cache plugs in here.
+	RunFunc func(RunConfig) (RunResult, error)
 }
 
 // DefaultOptions is the full-quality setting used by cmd/espsweep.
@@ -87,6 +90,7 @@ func (o Options) matrix(workloads []string, variants []Variant) Matrix {
 	m.System = o.System
 	m.Parallelism = o.Parallelism
 	m.Obs = o.Obs
+	m.RunFunc = o.RunFunc
 	return m
 }
 

@@ -52,10 +52,13 @@ type RunConfig struct {
 	// the engine dispatch profile, plus warmup/measured phase events when
 	// tracing is enabled. Each run needs its own registry; the matrix
 	// runner creates one per cell.
-	Metrics *obs.Registry
+	// Telemetry attachments carry `canon:"-"`: TestRunMetricsDoNotPerturbResults
+	// proves instrumentation leaves results bit-identical, so they are
+	// excluded from CanonicalKey.
+	Metrics *obs.Registry `canon:"-"`
 	// MetricsInterval is the sampling interval in cycles (0 uses
 	// DefaultMetricsInterval). Ignored without Metrics.
-	MetricsInterval sim.Cycle
+	MetricsInterval sim.Cycle `canon:"-"`
 }
 
 // DefaultRunConfig returns the harness defaults: the scaled system (all

@@ -60,6 +60,12 @@ type Matrix struct {
 	// Obs, when non-nil, captures per-run telemetry: each cell gets its
 	// own registry writing to Obs.Dir (simulation results are unaffected).
 	Obs *ObsSpec
+	// RunFunc, when non-nil, executes each cell in place of Run. It must
+	// be equivalent to Run for results to stay meaningful; the result
+	// cache and the serving daemon use it to substitute memoized or
+	// cancellation-aware execution while keeping the matrix's
+	// deterministic index-keyed assembly.
+	RunFunc func(RunConfig) (RunResult, error)
 }
 
 // NewMatrix returns a matrix with harness defaults (scaled system, three
@@ -116,6 +122,10 @@ func (m Matrix) Run(progress func(done, total int)) (Results, error) {
 	total := len(m.Variants) * len(m.Workloads) * len(m.Seeds)
 	results := make([]RunResult, total)
 	meter := newProgressMeter(total, progress)
+	runCell := m.RunFunc
+	if runCell == nil {
+		runCell = Run
+	}
 	err := forEach(m.Parallelism, total, func(i int) error {
 		vi, wi, si := m.cell(i)
 		v := m.Variants[vi]
@@ -142,7 +152,7 @@ func (m Matrix) Run(progress func(done, total int)) (Results, error) {
 			rc.MetricsInterval = m.Obs.Interval
 			finish = fin
 		}
-		res, err := Run(rc)
+		res, err := runCell(rc)
 		if finish != nil {
 			if ferr := finish(); ferr != nil && err == nil {
 				err = ferr
@@ -219,6 +229,9 @@ func (r Results) GeoMeanNormalized(v, baseline string, workloads []string) (floa
 // VarianceNormalized returns the variance of v's normalized performance
 // across the workloads — the paper's cross-benchmark stability metric.
 func (r Results) VarianceNormalized(v, baseline string, workloads []string) (float64, error) {
+	if len(workloads) == 0 {
+		return 0, fmt.Errorf("experiment: variance of %s over zero workloads", v)
+	}
 	vals := make([]float64, 0, len(workloads))
 	for _, wl := range workloads {
 		n, _, err := r.Normalized(v, baseline, wl)

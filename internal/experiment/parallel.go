@@ -107,9 +107,19 @@ func (p *progressMeter) tick() {
 // harness (cmd/espsweep's sensitivity sweep, custom studies) use to get
 // the same deterministic fan-out.
 func RunAll(parallelism int, rcs []RunConfig) ([]RunResult, error) {
+	return RunAllFunc(parallelism, nil, rcs)
+}
+
+// RunAllFunc is RunAll with a substitutable run function (nil: Run).
+// Callers use it to route the same deterministic fan-out through a
+// memoizing runner such as resultcache.Store.Runner.
+func RunAllFunc(parallelism int, run func(RunConfig) (RunResult, error), rcs []RunConfig) ([]RunResult, error) {
+	if run == nil {
+		run = Run
+	}
 	out := make([]RunResult, len(rcs))
 	err := forEach(parallelism, len(rcs), func(i int) error {
-		res, err := Run(rcs[i])
+		res, err := run(rcs[i])
 		if err != nil {
 			return err
 		}

@@ -24,6 +24,10 @@ var sweepArchs = [2]string{"shared", "esp-nuca"}
 // the grid parallelizes like a matrix and assembles deterministically.
 func runSweepGrid(o Options, points int, mk func(point int, archName string) RunConfig) ([][2]float64, error) {
 	perf := make([][2]float64, points)
+	run := o.RunFunc
+	if run == nil {
+		run = Run
+	}
 	err := forEach(o.Parallelism, points*len(sweepArchs), func(i int) error {
 		pt, ai := i/len(sweepArchs), i%len(sweepArchs)
 		rc := mk(pt, sweepArchs[ai])
@@ -33,7 +37,7 @@ func runSweepGrid(o Options, points int, mk func(point int, archName string) Run
 		if o.Instructions > 0 {
 			rc.Instructions = o.Instructions
 		}
-		res, err := Run(rc)
+		res, err := run(rc)
 		if err != nil {
 			return err
 		}

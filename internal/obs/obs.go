@@ -404,6 +404,32 @@ func (r *Registry) Ticks() uint64 {
 	return r.ticks
 }
 
+// Snapshot returns the current value of every counter and gauge, plus
+// the last point of every series. Safe on a nil receiver (all maps
+// nil). The serving daemon's /metricsz endpoint renders it.
+func (r *Registry) Snapshot() (counters map[string]uint64, gauges map[string]float64, series map[string]Point) {
+	if r == nil {
+		return nil, nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters = make(map[string]uint64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges = make(map[string]float64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	series = make(map[string]Point, len(r.series))
+	for n, s := range r.series {
+		if p, ok := s.Last(); ok {
+			series[n] = p
+		}
+	}
+	return counters, gauges, series
+}
+
 // snapshot is the JSONL interval record.
 type snapshot struct {
 	Cycle    uint64             `json:"cycle"`

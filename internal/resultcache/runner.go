@@ -1,0 +1,52 @@
+package resultcache
+
+import "espnuca/internal/experiment"
+
+// Run executes rc through the cache: a hit returns the memoized result
+// with zero simulation work, a miss simulates once and stores, and
+// concurrent identical requests share one in-flight simulation. The
+// returned result is bit-identical to a direct experiment.Run(rc).
+//
+// Instrumented configurations (rc.Metrics != nil) bypass the cache: a
+// memoized result could not replay the run's telemetry side effects.
+// Safe on a nil receiver (plain experiment.Run).
+func (s *Store) Run(rc experiment.RunConfig) (experiment.RunResult, error) {
+	if s == nil {
+		return experiment.Run(rc)
+	}
+	if rc.Metrics != nil {
+		s.mu.Lock()
+		s.stats.Bypassed++
+		s.mu.Unlock()
+		return experiment.Run(rc)
+	}
+	key, err := rc.CanonicalKey()
+	if err != nil {
+		return experiment.RunResult{}, err
+	}
+	res, shared, err := s.flight.do(key, func() (experiment.RunResult, error) {
+		if res, ok, err := s.Get(key); err != nil || ok {
+			return res, err
+		}
+		res, err := experiment.Run(rc)
+		if err != nil {
+			return res, err
+		}
+		s.mu.Lock()
+		s.stats.Runs++
+		s.mu.Unlock()
+		return res, s.Put(key, rc, res)
+	})
+	if shared {
+		s.mu.Lock()
+		s.stats.Shared++
+		s.mu.Unlock()
+	}
+	return res, err
+}
+
+// Runner returns Run as a free function with the experiment harness's
+// cell-runner shape, pluggable into Matrix.RunFunc / Options.RunFunc.
+func (s *Store) Runner() func(experiment.RunConfig) (experiment.RunResult, error) {
+	return s.Run
+}

@@ -1,0 +1,47 @@
+package resultcache
+
+import (
+	"sync"
+
+	"espnuca/internal/experiment"
+)
+
+// group collapses concurrent calls for the same key into one execution
+// whose result every caller shares (the usual singleflight shape,
+// specialized to RunResult so the module stays dependency-free).
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	res  experiment.RunResult
+	err  error
+}
+
+// do invokes fn once per key at a time: the first caller runs it, late
+// arrivals block until it finishes and receive the same result with
+// shared=true. Distinct keys run concurrently.
+func (g *group) do(key string, fn func() (experiment.RunResult, error)) (res experiment.RunResult, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"espnuca/internal/obs"
+	"espnuca/internal/resultcache"
+)
+
+// Server is the HTTP face of the simulation service.
+//
+//	GET  /healthz                 liveness + uptime
+//	GET  /metricsz                obs registry snapshot + cache stats
+//	POST /v1/jobs                 submit a JobSpec, returns {"id": ...}
+//	GET  /v1/jobs                 list job snapshots, newest first
+//	GET  /v1/jobs/{id}            one job snapshot (result attached when done)
+//	DELETE /v1/jobs/{id}          cancel
+//	GET  /v1/jobs/{id}/result     result payload of a succeeded job
+//	GET  /v1/jobs/{id}/events     live snapshots until terminal: SSE by
+//	                              default, JSONL with ?format=jsonl
+//	GET  /v1/cache/stats          result-cache counters and tier sizes
+type Server struct {
+	sched *Scheduler
+	cache *resultcache.Store
+	reg   *obs.Registry
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer wires the API around a scheduler and its cache (cache may
+// be nil when serving without memoization).
+func NewServer(sched *Scheduler, cache *resultcache.Store) *Server {
+	s := &Server{
+		sched: sched,
+		cache: cache,
+		reg:   sched.Obs(),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errCode maps service errors to HTTP statuses.
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	counters, gauges, series := s.reg.Snapshot()
+	out := map[string]any{
+		"counters": counters,
+		"gauges":   gauges,
+	}
+	if len(series) > 0 {
+		out["series"] = series
+	}
+	if s.cache != nil {
+		out["cache"] = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeErr(w, http.StatusNotFound, errors.New("service: no result cache configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	id, err := s.sched.Submit(spec)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.List())
+}
+
+// viewWithResult attaches the result payload to a terminal succeeded
+// view.
+func (s *Server) viewWithResult(v JobView) JobView {
+	if v.State != StateSucceeded {
+		return v
+	}
+	if res, err := s.sched.Result(v.ID); err == nil {
+		if b, err := json.Marshal(res); err == nil {
+			v.Result = b
+		}
+	}
+	return v
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, err := s.sched.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewWithResult(v))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	v, err := s.sched.Get(id)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.sched.Result(r.PathValue("id"))
+	if err != nil {
+		code := errCode(err)
+		if !errors.Is(err, ErrNotFound) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleEvents streams coalesced job snapshots until the job is
+// terminal. Default framing is Server-Sent Events (`event: job`,
+// `data: <JobView JSON>`); `?format=jsonl` switches to one JSON object
+// per line for plain line-reader clients (espctl wait).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jsonl := r.URL.Query().Get("format") == "jsonl"
+	flusher, canFlush := w.(http.Flusher)
+	if jsonl {
+		w.Header().Set("Content-Type", "application/jsonl")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+	}
+	id := r.PathValue("id")
+	err := s.sched.Watch(r.Context(), id, func(v JobView) error {
+		v = s.viewWithResult(v)
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if jsonl {
+			if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "event: job\ndata: %s\n\n", b); err != nil {
+				return err
+			}
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if errors.Is(err, ErrNotFound) {
+		writeErr(w, http.StatusNotFound, err)
+	}
+	// Other errors (client gone, write failure) just end the stream.
+}

@@ -1,0 +1,228 @@
+// Package service turns the experiment harness into a long-running
+// simulation service: a job model (single runs and whole matrices), a
+// bounded priority scheduler with per-job deadlines and cancellation,
+// and an HTTP API (cmd/espserved) that submits, watches and fetches
+// jobs. Execution flows through internal/resultcache, so identical
+// requests — across jobs, clients and restarts — reuse one simulation.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"espnuca/internal/experiment"
+	"espnuca/internal/workload"
+)
+
+// Kind discriminates job payloads.
+type Kind string
+
+// Job kinds.
+const (
+	KindRun    Kind = "run"    // one (arch, workload, seed) simulation
+	KindMatrix Kind = "matrix" // a full workloads x variants x seeds matrix
+)
+
+// RunSpec describes a single-simulation job. Zero values take the
+// harness defaults (DefaultRunConfig): 80k warmup, 40k instructions,
+// seed 1, the capacity-scaled Table 2 system.
+type RunSpec struct {
+	Arch     string `json:"arch"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed,omitempty"`
+	// Warmup and Instructions override the per-core instruction budgets
+	// when non-zero.
+	Warmup       uint64 `json:"warmup,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+	// FullSize simulates the paper's full Table 2 machine instead of the
+	// capacity-scaled default.
+	FullSize bool `json:"full_size,omitempty"`
+	// CCProbability overrides the Cooperative Caching cooperation
+	// probability when in (0, 1].
+	CCProbability float64 `json:"cc_probability,omitempty"`
+}
+
+// Config lowers the spec to a RunConfig, validating names eagerly so a
+// bad submission is rejected at the API instead of failing in a worker.
+func (sp RunSpec) Config() (experiment.RunConfig, error) {
+	if sp.Arch == "" {
+		return experiment.RunConfig{}, fmt.Errorf("service: run spec missing arch")
+	}
+	if _, ok := workload.ByName(sp.Workload); !ok {
+		return experiment.RunConfig{}, fmt.Errorf("service: unknown workload %q", sp.Workload)
+	}
+	rc := experiment.DefaultRunConfig(sp.Arch, sp.Workload)
+	if sp.Seed != 0 {
+		rc.Seed = sp.Seed
+	}
+	if sp.Warmup != 0 {
+		rc.Warmup = sp.Warmup
+	}
+	if sp.Instructions != 0 {
+		rc.Instructions = sp.Instructions
+	}
+	if sp.FullSize {
+		rc.System = fullSizeConfig()
+	}
+	if sp.CCProbability > 0 && sp.CCProbability <= 1 {
+		rc.System.CCProbability = sp.CCProbability
+	}
+	return rc, nil
+}
+
+// VariantSpec names one architecture column of a matrix job. CCProb,
+// when non-nil, overrides the cooperation probability (nil keeps the
+// architecture's default; 0 is a meaningful override).
+type VariantSpec struct {
+	Label  string   `json:"label"`
+	Arch   string   `json:"arch"`
+	CCProb *float64 `json:"cc_prob,omitempty"`
+}
+
+// MatrixSpec describes a matrix job: the cross product of workloads,
+// variants and seeds, exactly as experiment.Matrix runs it locally.
+type MatrixSpec struct {
+	Workloads []string      `json:"workloads"`
+	Variants  []VariantSpec `json:"variants,omitempty"`
+	// VariantSet selects a named variant family instead of (or in
+	// addition to) explicit Variants: "counterparts" (the paper's §6
+	// set), "cc" (the CC probability family), or "all" (both).
+	VariantSet   string   `json:"variant_set,omitempty"`
+	Seeds        []uint64 `json:"seeds,omitempty"`
+	Warmup       uint64   `json:"warmup,omitempty"`
+	Instructions uint64   `json:"instructions,omitempty"`
+	// Parallelism bounds the worker pool this one matrix fans out over
+	// (0 defers to the server's per-job default).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Matrix lowers the spec, validating workloads and variant names.
+func (sp MatrixSpec) Matrix() (experiment.Matrix, error) {
+	if len(sp.Workloads) == 0 {
+		return experiment.Matrix{}, fmt.Errorf("service: matrix spec has no workloads")
+	}
+	for _, wl := range sp.Workloads {
+		if _, ok := workload.ByName(wl); !ok {
+			return experiment.Matrix{}, fmt.Errorf("service: unknown workload %q", wl)
+		}
+	}
+	var variants []experiment.Variant
+	switch sp.VariantSet {
+	case "":
+	case "counterparts":
+		variants = experiment.CounterpartVariants()
+	case "cc":
+		variants = experiment.CCFamily()
+	case "all":
+		variants = append(experiment.CounterpartVariants(), experiment.CCFamily()...)
+	default:
+		return experiment.Matrix{}, fmt.Errorf("service: unknown variant set %q", sp.VariantSet)
+	}
+	for _, v := range sp.Variants {
+		ev := experiment.V(v.Label, v.Arch)
+		if ev.Label == "" {
+			ev.Label = v.Arch
+		}
+		if v.CCProb != nil {
+			ev.CCProb = *v.CCProb
+		}
+		variants = append(variants, ev)
+	}
+	if len(variants) == 0 {
+		return experiment.Matrix{}, fmt.Errorf("service: matrix spec has no variants")
+	}
+	m := experiment.NewMatrix(sp.Workloads, variants)
+	if len(sp.Seeds) > 0 {
+		m.Seeds = sp.Seeds
+	}
+	if sp.Warmup != 0 {
+		m.Warmup = sp.Warmup
+	}
+	if sp.Instructions != 0 {
+		m.Instructions = sp.Instructions
+	}
+	m.Parallelism = sp.Parallelism
+	return m, nil
+}
+
+// JobSpec is one submission. Exactly one payload must match Kind (an
+// empty Kind is inferred from the populated payload).
+type JobSpec struct {
+	Kind   Kind        `json:"kind,omitempty"`
+	Run    *RunSpec    `json:"run,omitempty"`
+	Matrix *MatrixSpec `json:"matrix,omitempty"`
+	// Priority orders the queue: higher runs sooner; equal priorities
+	// run in submission order.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds the job's total latency (queue wait + execution)
+	// in milliseconds from submission; 0 means no deadline. An expired
+	// job fails with ErrDeadline's message.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// normalize infers Kind and checks the payload is well-formed.
+func (sp *JobSpec) normalize() error {
+	switch {
+	case sp.Kind == "" && sp.Run != nil && sp.Matrix == nil:
+		sp.Kind = KindRun
+	case sp.Kind == "" && sp.Matrix != nil && sp.Run == nil:
+		sp.Kind = KindMatrix
+	}
+	switch sp.Kind {
+	case KindRun:
+		if sp.Run == nil || sp.Matrix != nil {
+			return fmt.Errorf("service: run job needs exactly the run payload")
+		}
+		_, err := sp.Run.Config()
+		return err
+	case KindMatrix:
+		if sp.Matrix == nil || sp.Run != nil {
+			return fmt.Errorf("service: matrix job needs exactly the matrix payload")
+		}
+		_, err := sp.Matrix.Matrix()
+		return err
+	default:
+		return fmt.Errorf("service: unknown job kind %q", sp.Kind)
+	}
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Terminal states are Succeeded, Failed and Canceled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Progress counts completed work units (simulation cells for a matrix,
+// 0/1 for a single run).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobView is the externally visible snapshot of a job, JSON-shaped for
+// the HTTP API. Result is attached only when the job succeeded.
+type JobView struct {
+	ID         string          `json:"id"`
+	Kind       Kind            `json:"kind"`
+	State      State           `json:"state"`
+	Priority   int             `json:"priority"`
+	Progress   Progress        `json:"progress"`
+	Error      string          `json:"error,omitempty"`
+	Submitted  time.Time       `json:"submitted"`
+	Started    *time.Time      `json:"started,omitempty"`
+	Finished   *time.Time      `json:"finished,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}

@@ -1,0 +1,500 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"espnuca/internal/obs"
+)
+
+// Scheduler errors.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (the HTTP API maps it to 429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining rejects submissions after Drain started.
+	ErrDraining = errors.New("service: scheduler draining")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrDeadline marks a job that exceeded its deadline.
+	ErrDeadline = errors.New("service: deadline exceeded")
+)
+
+// errClientCancel is the cancellation cause Cancel plants, so the
+// worker can tell a client cancel from a drain or deadline.
+var errClientCancel = errors.New("canceled by client")
+
+// Runner executes one job. Implementations must honor ctx (return
+// promptly once it is done) and may call progress from any goroutine;
+// the scheduler serializes what observers see. The returned payload is
+// JSON-marshaled into the job view.
+type Runner interface {
+	Run(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error)
+}
+
+// RunnerFunc adapts a function to Runner.
+type RunnerFunc func(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error) {
+	return f(ctx, spec, progress)
+}
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (0: NumCPU).
+	// Matrix jobs additionally fan their cells over their own bounded
+	// pool, so the effective simulation parallelism is Workers x
+	// per-job parallelism; servers running big matrices usually want
+	// few workers.
+	Workers int
+	// QueueLimit bounds the number of queued (not yet running) jobs
+	// (0: DefaultQueueLimit).
+	QueueLimit int
+	// Runner executes the jobs. Required.
+	Runner Runner
+	// Obs receives service telemetry (jobs submitted/completed/failed/
+	// canceled/rejected counters, queue depth and running gauges). Nil
+	// creates a private registry, readable via Scheduler.Obs.
+	Obs *obs.Registry
+}
+
+// DefaultQueueLimit bounds the queue when Config.QueueLimit is 0.
+const DefaultQueueLimit = 256
+
+// job is the scheduler-internal record. All fields are guarded by
+// Scheduler.mu once the job is registered.
+type job struct {
+	id       string
+	spec     JobSpec
+	seq      uint64
+	state    State
+	progress Progress
+	err      error
+	result   any
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	deadline  time.Time // zero = none
+
+	cancel   context.CancelCauseFunc // non-nil while running
+	watchers map[chan struct{}]struct{}
+
+	heapIdx int // position in the queue heap, -1 when not queued
+}
+
+// Scheduler owns the job table, the bounded priority queue and the
+// worker pool.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	queue    jobHeap
+	seq      uint64
+	draining bool
+
+	wg sync.WaitGroup
+
+	reg           *obs.Registry
+	cSubmitted    *obs.Counter
+	cCompleted    *obs.Counter
+	cFailed       *obs.Counter
+	cCanceled     *obs.Counter
+	cRejected     *obs.Counter
+	gQueueDepth   *obs.Gauge
+	gRunning      *obs.Gauge
+	runningGauges int
+}
+
+// New starts a scheduler with cfg.Workers workers.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("service: Config.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Scheduler{
+		cfg:         cfg,
+		jobs:        make(map[string]*job),
+		reg:         reg,
+		cSubmitted:  reg.Counter("service.jobs_submitted"),
+		cCompleted:  reg.Counter("service.jobs_succeeded"),
+		cFailed:     reg.Counter("service.jobs_failed"),
+		cCanceled:   reg.Counter("service.jobs_canceled"),
+		cRejected:   reg.Counter("service.jobs_rejected"),
+		gQueueDepth: reg.Gauge("service.queue_depth"),
+		gRunning:    reg.Gauge("service.jobs_running"),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Obs returns the scheduler's telemetry registry.
+func (s *Scheduler) Obs() *obs.Registry { return s.reg }
+
+// Submit validates and enqueues a job, returning its ID.
+func (s *Scheduler) Submit(spec JobSpec) (string, error) {
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.cRejected.Inc()
+		return "", ErrDraining
+	}
+	if s.queue.Len() >= s.cfg.QueueLimit {
+		s.cRejected.Inc()
+		return "", ErrQueueFull
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%08d", s.seq),
+		spec:      spec,
+		seq:       s.seq,
+		state:     StateQueued,
+		submitted: now,
+		watchers:  make(map[chan struct{}]struct{}),
+		heapIdx:   -1,
+	}
+	if spec.DeadlineMS > 0 {
+		j.deadline = now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
+	s.jobs[j.id] = j
+	heap.Push(&s.queue, j)
+	s.cSubmitted.Inc()
+	s.gQueueDepth.Set(float64(s.queue.Len()))
+	s.cond.Signal()
+	return j.id, nil
+}
+
+// Get returns the job's current snapshot. Result payloads are attached
+// by the HTTP layer (see Result), not here, to keep list views light.
+func (s *Scheduler) Get(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.viewLocked(), nil
+}
+
+// Result returns the payload of a succeeded job.
+func (s *Scheduler) Result(id string) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch j.state {
+	case StateSucceeded:
+		return j.result, nil
+	case StateFailed:
+		return nil, fmt.Errorf("service: job %s failed: %w", id, j.err)
+	case StateCanceled:
+		return nil, fmt.Errorf("service: job %s canceled", id)
+	default:
+		return nil, fmt.Errorf("service: job %s not finished (state %s)", id, j.state)
+	}
+}
+
+// List returns a snapshot of every job, newest submission first.
+func (s *Scheduler) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.viewLocked())
+	}
+	// IDs are fixed-width ("j%08d"), so string order is submission
+	// order; newest first.
+	sort.Slice(out, func(a, b int) bool { return out[a].ID > out[b].ID })
+	return out
+}
+
+// Cancel stops a job: a queued job is canceled immediately, a running
+// job has its context canceled and finalizes as canceled when the
+// runner returns. Canceling a terminal job is a no-op.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		if j.heapIdx >= 0 {
+			heap.Remove(&s.queue, j.heapIdx)
+			j.heapIdx = -1
+			s.gQueueDepth.Set(float64(s.queue.Len()))
+		}
+		s.finalizeLocked(j, StateCanceled, nil, errClientCancel)
+	case StateRunning:
+		j.cancel(errClientCancel)
+	}
+	return nil
+}
+
+// Watch streams job snapshots to fn: once immediately, then after every
+// change, until the job reaches a terminal state (nil return), ctx ends,
+// or fn errors. Updates are coalesced — observers always see the latest
+// state, not necessarily every intermediate progress value.
+func (s *Scheduler) Watch(ctx context.Context, id string, fn func(JobView) error) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	ch := make(chan struct{}, 1)
+	j.watchers[ch] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(j.watchers, ch)
+		s.mu.Unlock()
+	}()
+	for {
+		s.mu.Lock()
+		v := j.viewLocked()
+		s.mu.Unlock()
+		if err := fn(v); err != nil {
+			return err
+		}
+		if v.State.Terminal() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Drain gracefully shuts the scheduler down: new submissions are
+// rejected, still-queued jobs are canceled, and in-flight jobs run to
+// completion — unless ctx expires first, at which point they are
+// force-canceled. Drain returns once every worker has exited.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for s.queue.Len() > 0 {
+		j := heap.Pop(&s.queue).(*job)
+		j.heapIdx = -1
+		s.finalizeLocked(j, StateCanceled, nil, errors.New("server shutting down"))
+	}
+	s.gQueueDepth.Set(0)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				j.cancel(fmt.Errorf("drain timeout: %w", ctx.Err()))
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker pops jobs by priority until drain empties the queue.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		j.heapIdx = -1
+		s.gQueueDepth.Set(float64(s.queue.Len()))
+		if j.state != StateQueued {
+			// Canceled while queued (defensive: Cancel finalizes without
+			// popping, so a dead entry can surface here).
+			s.mu.Unlock()
+			continue
+		}
+		now := time.Now()
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			s.finalizeLocked(j, StateFailed, nil, ErrDeadline)
+			s.mu.Unlock()
+			continue
+		}
+		ctx := context.Background()
+		var cancelTimeout context.CancelFunc
+		if !j.deadline.IsZero() {
+			ctx, cancelTimeout = context.WithDeadline(ctx, j.deadline)
+		}
+		ctx, cancelCause := context.WithCancelCause(ctx)
+		j.cancel = cancelCause
+		j.state = StateRunning
+		j.started = now
+		s.runningGauges++
+		s.gRunning.Set(float64(s.runningGauges))
+		j.notifyLocked()
+		spec := j.spec
+		s.mu.Unlock()
+
+		payload, err := s.cfg.Runner.Run(ctx, spec, func(done, total int) {
+			s.mu.Lock()
+			j.progress = Progress{Done: done, Total: total}
+			j.notifyLocked()
+			s.mu.Unlock()
+		})
+
+		if cancelTimeout != nil {
+			cancelTimeout()
+		}
+		cancelCause(nil)
+
+		s.mu.Lock()
+		state := StateSucceeded
+		if err != nil {
+			state = StateFailed
+			// Distinguish why the context died: client cancel vs deadline.
+			if ctx.Err() != nil {
+				cause := context.Cause(ctx)
+				switch {
+				case errors.Is(ctx.Err(), context.DeadlineExceeded):
+					err = ErrDeadline
+				case errors.Is(cause, errClientCancel):
+					state, err = StateCanceled, cause
+				case cause != nil:
+					err = cause
+				}
+			}
+		}
+		s.runningGauges--
+		s.gRunning.Set(float64(s.runningGauges))
+		s.finalizeLocked(j, state, payload, err)
+		s.mu.Unlock()
+	}
+}
+
+// finalizeLocked moves j to a terminal state and wakes watchers.
+// Caller holds s.mu.
+func (s *Scheduler) finalizeLocked(j *job, state State, payload any, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = payload
+	j.err = err
+	j.finished = time.Now()
+	j.cancel = nil
+	switch state {
+	case StateSucceeded:
+		s.cCompleted.Inc()
+	case StateFailed:
+		s.cFailed.Inc()
+	case StateCanceled:
+		s.cCanceled.Inc()
+	}
+	j.notifyLocked()
+}
+
+// notifyLocked pokes every watcher, coalescing bursts.
+func (j *job) notifyLocked() {
+	for ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// viewLocked snapshots the job. Caller holds the scheduler mutex.
+func (j *job) viewLocked() JobView {
+	v := JobView{
+		ID:         j.id,
+		Kind:       j.spec.Kind,
+		State:      j.state,
+		Priority:   j.spec.Priority,
+		Progress:   j.progress,
+		Submitted:  j.submitted,
+		DeadlineMS: j.spec.DeadlineMS,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// jobHeap orders queued jobs by descending priority, then submission
+// order. It implements container/heap.Interface.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].spec.Priority != h[b].spec.Priority {
+		return h[a].spec.Priority > h[b].spec.Priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIdx = a
+	h[b].heapIdx = b
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
