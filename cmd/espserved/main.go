@@ -50,6 +50,7 @@ func main() {
 		memEnts  = flag.Int("mem-entries", 0, "in-memory cache tier capacity (0 = default)")
 		workers  = flag.Int("workers", 2, "jobs executed concurrently")
 		queue    = flag.Int("queue", 0, "bounded queue limit (0 = default)")
+		retain   = flag.Int("retain", 0, "terminal jobs kept queryable before eviction (0 = default, negative = unlimited)")
 		parallel = flag.Int("parallel", 0, "per-matrix-job worker pool bound (0 = all cores)")
 		drainT   = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for in-flight jobs on shutdown")
 	)
@@ -64,6 +65,7 @@ func main() {
 	sched, err := service.New(service.Config{
 		Workers:    *workers,
 		QueueLimit: *queue,
+		RetainJobs: *retain,
 		Runner:     &service.SimRunner{Cache: store, Parallelism: *parallel},
 	})
 	if err != nil {
@@ -96,10 +98,17 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
+	// Drain and Shutdown share the timeout but must overlap: Shutdown
+	// waits for open handlers, and an event stream watching a queued job
+	// only terminates once Drain cancels that job — serializing Shutdown
+	// first would let one open stream consume the whole budget and turn
+	// the graceful drain into a force-cancel.
+	drainc := make(chan error, 1)
+	go func() { drainc <- sched.Drain(ctx) }()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := sched.Drain(ctx); err != nil {
+	if err := <-drainc; err != nil {
 		log.Printf("drain: %v (in-flight jobs were force-canceled)", err)
 	}
 	if err := store.Close(); err != nil {

@@ -57,7 +57,10 @@ type Stats struct {
 	// runs, which carry side-effecting telemetry sinks).
 	Bypassed uint64 `json:"bypassed"`
 	// MemEntries and DiskEntries are point-in-time tier sizes, filled by
-	// Store.Stats.
+	// Store.Stats. DiskEntries counts the objects this store knows of —
+	// seeded by one scan at Open, then maintained on Put and disk hits —
+	// so objects written by another process after Open are counted only
+	// once observed.
 	MemEntries  int `json:"mem_entries"`
 	DiskEntries int `json:"disk_entries"`
 }
@@ -72,6 +75,7 @@ type Store struct {
 	byKey map[string]*list.Element
 	lru   *list.List // front = most recently used
 	cap   int
+	disk  map[string]struct{} // known on-disk keys; nil when memory-only
 	stats Stats
 
 	flight group
@@ -103,6 +107,12 @@ func Open(dir string, o Options) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+		// Seed the disk-entry set with one walk so Stats never has to
+		// re-enumerate the object tree per call.
+		s.disk = make(map[string]struct{})
+		for _, key := range s.diskKeys() {
+			s.disk[key] = struct{}{}
 		}
 	}
 	return s, nil
@@ -150,6 +160,7 @@ func (s *Store) Get(key string) (experiment.RunResult, bool, error) {
 		if ok {
 			s.mu.Lock()
 			s.stats.DiskHits++
+			s.disk[key] = struct{}{} // may be another process's write
 			s.addMemLocked(key, e.Result)
 			s.mu.Unlock()
 			return e.Result, true, nil
@@ -229,6 +240,9 @@ func (s *Store) Put(key string, rc experiment.RunConfig, res experiment.RunResul
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultcache: publish %s: %w", key, err)
 	}
+	s.mu.Lock()
+	s.disk[key] = struct{}{}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -251,7 +265,8 @@ func (s *Store) addMemLocked(key string, res experiment.RunResult) {
 	}
 }
 
-// Stats returns a snapshot of the traffic counters and tier sizes.
+// Stats returns a snapshot of the traffic counters and tier sizes. It
+// is O(1) — /metricsz scrapes hit it, so it never walks the disk.
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
@@ -259,14 +274,14 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
 	st.MemEntries = s.lru.Len()
+	st.DiskEntries = len(s.disk)
 	s.mu.Unlock()
-	if s.dir != "" {
-		st.DiskEntries = len(s.diskKeys())
-	}
 	return st
 }
 
-// diskKeys enumerates the object store.
+// diskKeys enumerates the object store on disk. Used at Open (to seed
+// the disk-entry set) and Close (to index even objects written by other
+// processes since) — never on the Stats hot path.
 func (s *Store) diskKeys() []string {
 	var keys []string
 	root := filepath.Join(s.dir, "objects")

@@ -211,6 +211,44 @@ func TestStaleVersionReadsAsMiss(t *testing.T) {
 	}
 }
 
+// TestDiskEntriesCounterTracksStore pins the O(1) Stats contract: the
+// disk-entry count is maintained incrementally on Put and seeded by one
+// scan at Open, not recomputed by walking the object tree per call.
+func TestDiskEntriesCounterTracksStore(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.DiskEntries != 0 {
+		t.Fatalf("fresh store DiskEntries = %d, want 0", st.DiskEntries)
+	}
+	var rcs []experiment.RunConfig
+	for i := 0; i < 3; i++ {
+		rc := quickRC("shared", "apache", uint64(i+1))
+		rcs = append(rcs, rc)
+		if err := s1.Put(mustKey(t, rc), rc, experiment.RunResult{Seed: rc.Seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-putting an existing key must not double count.
+	if err := s1.Put(mustKey(t, rcs[0]), rcs[0], experiment.RunResult{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.DiskEntries != 3 {
+		t.Errorf("DiskEntries after 3 distinct puts = %d, want 3", st.DiskEntries)
+	}
+
+	// A reopened store seeds the counter from the existing objects.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskEntries != 3 {
+		t.Errorf("reopened store DiskEntries = %d, want 3", st.DiskEntries)
+	}
+}
+
 func TestNilStoreRunsDirectly(t *testing.T) {
 	var s *Store
 	rc := quickRC("shared", "apache", 1)
@@ -246,4 +284,3 @@ func TestInstrumentedRunBypassesCache(t *testing.T) {
 		t.Errorf("instrumented runs must bypass: %+v", st)
 	}
 }
-

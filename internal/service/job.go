@@ -39,7 +39,8 @@ type RunSpec struct {
 	// capacity-scaled default.
 	FullSize bool `json:"full_size,omitempty"`
 	// CCProbability overrides the Cooperative Caching cooperation
-	// probability when in (0, 1].
+	// probability. When set it must be in (0, 1]; anything else is
+	// rejected at submission.
 	CCProbability float64 `json:"cc_probability,omitempty"`
 }
 
@@ -65,7 +66,10 @@ func (sp RunSpec) Config() (experiment.RunConfig, error) {
 	if sp.FullSize {
 		rc.System = fullSizeConfig()
 	}
-	if sp.CCProbability > 0 && sp.CCProbability <= 1 {
+	if sp.CCProbability != 0 {
+		if sp.CCProbability <= 0 || sp.CCProbability > 1 {
+			return experiment.RunConfig{}, fmt.Errorf("service: cc_probability %v outside (0, 1]", sp.CCProbability)
+		}
 		rc.System.CCProbability = sp.CCProbability
 	}
 	return rc, nil

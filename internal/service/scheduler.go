@@ -57,6 +57,12 @@ type Config struct {
 	// QueueLimit bounds the number of queued (not yet running) jobs
 	// (0: DefaultQueueLimit).
 	QueueLimit int
+	// RetainJobs bounds how many terminal jobs — and their result
+	// payloads, which for matrix jobs can be sizable — stay queryable
+	// before the oldest are evicted from the job table, so a
+	// long-running daemon does not grow without bound (0:
+	// DefaultRetainJobs, negative: retain everything).
+	RetainJobs int
 	// Runner executes the jobs. Required.
 	Runner Runner
 	// Obs receives service telemetry (jobs submitted/completed/failed/
@@ -67,6 +73,10 @@ type Config struct {
 
 // DefaultQueueLimit bounds the queue when Config.QueueLimit is 0.
 const DefaultQueueLimit = 256
+
+// DefaultRetainJobs bounds the terminal-job history when
+// Config.RetainJobs is 0.
+const DefaultRetainJobs = 512
 
 // job is the scheduler-internal record. All fields are guarded by
 // Scheduler.mu once the job is registered.
@@ -99,6 +109,7 @@ type Scheduler struct {
 	cond     *sync.Cond
 	jobs     map[string]*job
 	queue    jobHeap
+	terminal []*job // finished jobs in completion order, oldest first
 	seq      uint64
 	draining bool
 
@@ -125,6 +136,9 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = DefaultRetainJobs
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -383,6 +397,11 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 		})
 
+		// Read the context's verdict before releasing it: cancelCause
+		// below self-cancels ctx, after which every job — including one
+		// whose runner simply failed — would look context-canceled.
+		ctxErr := ctx.Err()
+		cause := context.Cause(ctx)
 		if cancelTimeout != nil {
 			cancelTimeout()
 		}
@@ -393,10 +412,9 @@ func (s *Scheduler) worker() {
 		if err != nil {
 			state = StateFailed
 			// Distinguish why the context died: client cancel vs deadline.
-			if ctx.Err() != nil {
-				cause := context.Cause(ctx)
+			if ctxErr != nil {
 				switch {
-				case errors.Is(ctx.Err(), context.DeadlineExceeded):
+				case errors.Is(ctxErr, context.DeadlineExceeded):
 					err = ErrDeadline
 				case errors.Is(cause, errClientCancel):
 					state, err = StateCanceled, cause
@@ -432,6 +450,19 @@ func (s *Scheduler) finalizeLocked(j *job, state State, payload any, err error) 
 		s.cCanceled.Inc()
 	}
 	j.notifyLocked()
+	// Evict the oldest terminal jobs past the retention bound so the
+	// table (and the result payloads it pins) stays bounded. Watchers
+	// hold their own *job and have already been woken with the terminal
+	// snapshot, so eviction only affects future lookups by ID.
+	s.terminal = append(s.terminal, j)
+	if s.cfg.RetainJobs > 0 {
+		for len(s.terminal) > s.cfg.RetainJobs {
+			old := s.terminal[0]
+			s.terminal[0] = nil
+			s.terminal = s.terminal[1:]
+			delete(s.jobs, old.id)
+		}
+	}
 }
 
 // notifyLocked pokes every watcher, coalescing bursts.

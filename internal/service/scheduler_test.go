@@ -89,20 +89,88 @@ func TestSubmitValidatesEagerly(t *testing.T) {
 	}
 	defer s.Drain(context.Background())
 	bad := []JobSpec{
-		{},                                       // no payload
-		{Run: &RunSpec{Arch: "esp-nuca"}},        // missing workload
-		{Run: &RunSpec{Workload: "apache"}},      // missing arch
-		{Run: &RunSpec{Arch: "x", Workload: "nosuch"}}, // bad workload
-		{Kind: KindMatrix, Matrix: &MatrixSpec{}},      // empty matrix
-		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}}},                             // no variants
-		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}, VariantSet: "nope"}},         // bad set
-		{Kind: "weird", Run: &RunSpec{Arch: "esp-nuca", Workload: "apache"}},                               // bad kind
+		{},                                  // no payload
+		{Run: &RunSpec{Arch: "esp-nuca"}},   // missing workload
+		{Run: &RunSpec{Workload: "apache"}}, // missing arch
+		{Run: &RunSpec{Arch: "x", Workload: "nosuch"}},                                                            // bad workload
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", CCProbability: 1.5}},                                 // cc_probability > 1
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", CCProbability: -0.2}},                                // cc_probability <= 0
+		{Kind: KindMatrix, Matrix: &MatrixSpec{}},                                                                 // empty matrix
+		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}}},                                    // no variants
+		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}, VariantSet: "nope"}},                // bad set
+		{Kind: "weird", Run: &RunSpec{Arch: "esp-nuca", Workload: "apache"}},                                      // bad kind
 		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache"}, Matrix: &MatrixSpec{Workloads: []string{"apache"}}}, // both payloads, kind ambiguous
 	}
 	for i, spec := range bad {
 		if _, err := s.Submit(spec); err == nil {
 			t.Errorf("spec %d accepted, want rejection", i)
 		}
+	}
+}
+
+// TestFailedJobKeepsRunnerError pins the worker's post-run
+// reclassification: releasing the job context must not relabel a
+// genuine runner failure as "context canceled".
+func TestFailedJobKeepsRunnerError(t *testing.T) {
+	boom := errors.New("boom")
+	r := RunnerFunc(func(ctx context.Context, spec JobSpec, progress func(done, total int)) (any, error) {
+		return nil, boom
+	})
+	s, err := New(Config{Workers: 1, Runner: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	id, err := s.Submit(runSpec("apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, s, id)
+	if v.State != StateFailed {
+		t.Fatalf("state = %s, want failed", v.State)
+	}
+	if v.Error != "boom" {
+		t.Errorf("error = %q, want the runner's %q", v.Error, "boom")
+	}
+	if _, err := s.Result(id); !errors.Is(err, boom) {
+		t.Errorf("Result error = %v, want wrapped boom", err)
+	}
+}
+
+// TestRetainEvictsOldestTerminal pins the retention policy: only the
+// newest RetainJobs terminal jobs stay queryable.
+func TestRetainEvictsOldestTerminal(t *testing.T) {
+	s, err := New(Config{Workers: 1, RetainJobs: 2, Runner: &blockingRunner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	var ids []string
+	for _, wl := range []string{"apache", "jbb", "oltp", "zeus"} {
+		id, err := s.Submit(runSpec(wl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One job at a time so completion order matches submission order.
+		waitTerminal(t, s, id)
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:2] {
+		if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("job %s: err = %v, want ErrNotFound after eviction", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		v, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("job %s evicted despite retention 2: %v", id, err)
+		}
+		if v.State != StateSucceeded {
+			t.Errorf("job %s state = %s, want succeeded", id, v.State)
+		}
+	}
+	if got := len(s.List()); got != 2 {
+		t.Errorf("List() length = %d, want 2", got)
 	}
 }
 
