@@ -35,7 +35,7 @@ func main() {
 	// the sampler; helping pressure is injected separately.
 	access := func(line mem.Line) {
 		set := int(uint64(line) % sets)
-		blk := bank.Lookup(set, cache.MatchClass(line, cache.Private, cache.Shared))
+		blk := bank.Lookup(set, cache.ClassQuery(line, cache.Private, cache.Shared))
 		if s := bank.Set(set); s.Sampled {
 			sampler.Observe(s.Role, blk != nil)
 		}
@@ -45,7 +45,7 @@ func main() {
 	}
 	helping := func(line mem.Line) {
 		set := int(uint64(line) % sets)
-		if bank.Peek(set, cache.MatchClass(line, cache.Replica)) != nil {
+		if bank.Peek(set, cache.ClassQuery(line, cache.Replica)) != nil {
 			return
 		}
 		bank.Insert(set, cache.Block{Valid: true, Line: line, Class: cache.Replica, Owner: 1}, policy)

@@ -186,11 +186,13 @@ type Substrate struct {
 	Bank []*cache.Bank
 	RNG  *sim.RNG
 
-	where map[mem.Line][]l2loc
+	where lineMap[[]l2loc]
+	// scratch is collectForWrite's reusable residency snapshot.
+	scratch []l2loc
 
 	// sharedStatus tracks the SP/ESP private bit: present = line has been
 	// on chip; value true = shared status (two or more accessor cores).
-	status map[mem.Line]lineStatus
+	status lineMap[lineStatus]
 
 	// Counts and Latency accumulate the Figure 6 decomposition; index by
 	// Level. Latency is in cycles summed over accesses.
@@ -230,8 +232,8 @@ func NewSubstrate(cfg Config) (*Substrate, error) {
 		L1:     l1,
 		Map:    mapping,
 		RNG:    sim.NewRNG(cfg.Seed ^ 0xA11CE),
-		where:  make(map[mem.Line][]l2loc, 1<<16),
-		status: make(map[mem.Line]lineStatus, 1<<16),
+		where:  newLineMap[[]l2loc](1 << 16),
+		status: newLineMap[lineStatus](1 << 16),
 	}
 	for i := 0; i < cfg.Banks; i++ {
 		b, err := cache.NewBank(cache.Config{
@@ -272,11 +274,14 @@ func (s *Substrate) RecordL1Hit(lat sim.Cycle) {
 // --- L2 residency management ---
 
 // l2Has returns the copies of line currently in the L2.
-func (s *Substrate) l2Has(line mem.Line) []l2loc { return s.where[line] }
+func (s *Substrate) l2Has(line mem.Line) []l2loc {
+	locs, _ := s.where.get(line)
+	return locs
+}
 
 // l2Find returns the residency entry for line in bank, if any.
 func (s *Substrate) l2Find(line mem.Line, bank int) (l2loc, bool) {
-	for _, loc := range s.where[line] {
+	for _, loc := range s.l2Has(line) {
 		if loc.bank == bank {
 			return loc, true
 		}
@@ -292,7 +297,8 @@ func (s *Substrate) l2Find(line mem.Line, bank int) (l2loc, bool) {
 func (s *Substrate) l2Insert(bank, set int, blk cache.Block, pol cache.Policy) cache.Evicted {
 	ev := s.Bank[bank].Insert(set, blk, pol)
 	if !ev.Refused {
-		s.where[blk.Line] = append(s.where[blk.Line], l2loc{bank: bank, class: blk.Class, set: set})
+		p := s.where.ptr(blk.Line)
+		*p = append(*p, l2loc{bank: bank, class: blk.Class, set: set})
 	}
 	if ev.Valid {
 		s.removeWhere(ev.Block.Line, bank)
@@ -302,7 +308,7 @@ func (s *Substrate) l2Insert(bank, set int, blk cache.Block, pol cache.Policy) c
 
 // l2Invalidate removes line from bank and returns the dropped block.
 func (s *Substrate) l2Invalidate(line mem.Line, bank, set int) (cache.Block, bool) {
-	blk, ok := s.Bank[bank].Invalidate(set, cache.MatchLine(line))
+	blk, ok := s.Bank[bank].Invalidate(set, cache.LineQuery(line))
 	if ok {
 		s.removeWhere(line, bank)
 	}
@@ -310,7 +316,7 @@ func (s *Substrate) l2Invalidate(line mem.Line, bank, set int) (cache.Block, boo
 }
 
 func (s *Substrate) removeWhere(line mem.Line, bank int) {
-	locs := s.where[line]
+	locs, _ := s.where.get(line)
 	for i, loc := range locs {
 		if loc.bank == bank {
 			locs[i] = locs[len(locs)-1]
@@ -319,17 +325,17 @@ func (s *Substrate) removeWhere(line mem.Line, bank int) {
 		}
 	}
 	if len(locs) == 0 {
-		delete(s.where, line)
+		s.where.del(line)
 		s.maybeForgetStatus(line)
 	} else {
-		s.where[line] = locs
+		s.where.set(line, locs)
 	}
 }
 
 // reclassWhere updates the cached class of a residency entry after a
 // Reclass on the bank.
 func (s *Substrate) reclassWhere(line mem.Line, bank int, to cache.Class) {
-	locs := s.where[line]
+	locs, _ := s.where.get(line)
 	for i := range locs {
 		if locs[i].bank == bank {
 			locs[i].class = to
@@ -345,7 +351,7 @@ func (s *Substrate) dropEvicted(at sim.Cycle, ev cache.Evicted, fromBank int) {
 		return
 	}
 	line := ev.Block.Line
-	if len(s.where[line]) > 0 {
+	if len(s.l2Has(line)) > 0 {
 		return // other L2 copies remain; the pool keeps its tokens
 	}
 	st := s.Dir.State(line)
@@ -365,44 +371,48 @@ func (s *Substrate) dropEvicted(at sim.Cycle, ev cache.Evicted, fromBank int) {
 // as the first accessor on first touch and upgrading to shared when a
 // different core touches a private line (paper §2.1).
 func (s *Substrate) statusOf(line mem.Line, c int) (shared bool, owner int) {
-	st, ok := s.status[line]
+	st, ok := s.status.get(line)
 	if !ok {
-		st = lineStatus{shared: false, owner: c}
-		s.status[line] = st
+		s.status.set(line, lineStatus{shared: false, owner: c})
 		return false, c
 	}
 	if !st.shared && st.owner != c {
 		st.shared = true
-		s.status[line] = st
+		s.status.set(line, st)
 	}
 	return st.shared, st.owner
 }
 
 // peekStatus returns the status without mutating it.
 func (s *Substrate) peekStatus(line mem.Line) (shared bool, owner int, known bool) {
-	st, ok := s.status[line]
+	st, ok := s.status.get(line)
 	return st.shared, st.owner, ok
 }
 
 // markShared forces a line's status to shared (victim touched by a
 // non-owner, migration, etc.).
 func (s *Substrate) markShared(line mem.Line) {
-	st := s.status[line]
+	st, _ := s.status.get(line)
 	st.shared = true
-	s.status[line] = st
+	s.status.set(line, st)
 }
 
 // maybeForgetStatus clears the private bit when the line has left the
 // chip entirely: the status "remains with the block while it stays in the
 // chip" (paper §2.1).
 func (s *Substrate) maybeForgetStatus(line mem.Line) {
-	if len(s.where[line]) > 0 {
+	if len(s.l2Has(line)) > 0 {
 		return
 	}
 	if st := s.Dir.Peek(line); st != nil && st.Sharers() != 0 {
 		return
 	}
-	delete(s.status, line)
+	s.status.del(line)
+	// The line has fully left the chip; if its token state has decayed
+	// back to all-at-memory the directory entry is redundant (a later
+	// State call re-materializes identical contents), so drop it to bound
+	// the table's live-entry count.
+	s.Dir.Forget(line)
 }
 
 // --- Common transaction steps ---
@@ -471,8 +481,12 @@ func (s *Substrate) collectForWrite(at sim.Cycle, viaNode noc.NodeID, reqCore in
 		}
 		s.L1.Invalidate(c, line)
 	}
-	// Invalidate every L2 copy (tokens drain to the writer).
-	for _, loc := range append([]l2loc(nil), s.where[line]...) {
+	// Invalidate every L2 copy (tokens drain to the writer). l2Invalidate
+	// mutates s.where[line], so iterate over a reusable snapshot instead of
+	// the live slice (the scratch buffer avoids an allocation per write;
+	// collectForWrite never reenters itself).
+	s.scratch = append(s.scratch[:0], s.l2Has(line)...)
+	for _, loc := range s.scratch {
 		t := s.Mesh.Send(at, viaNode, s.NodeOfBank(loc.bank), noc.Control, 0)
 		t = s.Bank[loc.bank].TagProbe(t)
 		t = s.Mesh.Send(t, s.NodeOfBank(loc.bank), s.NodeOfCore(reqCore), noc.Control, 0)
@@ -494,12 +508,15 @@ func (s *Substrate) CheckInvariants() error {
 		}
 	}
 	// Every 'where' entry must exist in its bank, and vice versa.
-	for line, locs := range s.where {
+	if err := s.where.forEach(func(line mem.Line, locs []l2loc) error {
 		for _, loc := range locs {
-			if s.Bank[loc.bank].Peek(loc.set, cache.MatchLine(line)) == nil {
+			if s.Bank[loc.bank].Peek(loc.set, cache.LineQuery(line)) == nil {
 				return fmt.Errorf("arch: residency of line %#x in bank %d not present in array", line, loc.bank)
 			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	for bi, b := range s.Bank {
 		for si := 0; si < b.Sets(); si++ {

@@ -31,6 +31,11 @@ type DNUCA struct {
 
 	// Migs and Reps count migrations and replications.
 	Migs, Reps uint64
+
+	// bankOrder[col][core] is the column's bank list ordered by distance
+	// from the core, precomputed so the per-access lookup is a slice read
+	// instead of a build-and-sort (callers never mutate the shared slice).
+	bankOrder [][][]int
 }
 
 // NewDNUCA builds the idealized D-NUCA.
@@ -39,7 +44,15 @@ func NewDNUCA(cfg Config) (*DNUCA, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DNUCA{s: s, lastReq: make(map[mem.Line]int8, 1<<14)}, nil
+	a := &DNUCA{s: s, lastReq: make(map[mem.Line]int8, 1<<14)}
+	a.bankOrder = make([][][]int, cfg.NoC.Cols)
+	for col := range a.bankOrder {
+		a.bankOrder[col] = make([][]int, cfg.Cores)
+		for c := range a.bankOrder[col] {
+			a.bankOrder[col][c] = a.buildBanksInColumn(col, c)
+		}
+	}
+	return a, nil
 }
 
 // Name implements System.
@@ -58,8 +71,13 @@ func (a *DNUCA) column(line mem.Line) (col, set int) {
 }
 
 // banksInColumn lists the banks of a column ordered by distance from the
-// requesting core.
+// requesting core (a precomputed shared slice; do not mutate).
 func (a *DNUCA) banksInColumn(col, c int) []int {
+	return a.bankOrder[col][c]
+}
+
+// buildBanksInColumn computes one bankOrder entry at construction time.
+func (a *DNUCA) buildBanksInColumn(col, c int) []int {
 	s := a.s
 	perNode := s.Cfg.Banks / s.Mesh.Nodes()
 	var banks []int
@@ -119,7 +137,7 @@ func (a *DNUCA) Access(at sim.Cycle, c int, line mem.Line, write bool) Result {
 	case hitBank >= 0 && !ownedByRemoteL1(st, c):
 		node := s.NodeOfBank(hitBank)
 		t := s.Mesh.Send(at, reqNode, node, noc.Control, 0)
-		s.Bank[hitBank].Lookup(hitSet, cache.MatchLine(line))
+		s.Bank[hitBank].Lookup(hitSet, cache.LineQuery(line))
 		t = s.Bank[hitBank].Access(t)
 		t = s.Mesh.Send(t, node, reqNode, noc.Data, s.Cfg.BlockBytes)
 		level := SharedL2

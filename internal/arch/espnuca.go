@@ -74,11 +74,11 @@ func newESPNUCA(cfg Config, protected bool, qos *core.QoS) (*ESPNUCA, error) {
 		}
 	}
 	a.hooks = espHooks{
-		privateMatch: func(line mem.Line, c int) cache.Match {
-			return cache.MatchClass(line, cache.Private, cache.Replica)
+		privateMatch: func(line mem.Line, c int) cache.Query {
+			return cache.Query{Line: line, Classes: cache.MaskPrivate | cache.MaskReplica, Owner: cache.AnyOwner}
 		},
-		homeMatch: func(line mem.Line) cache.Match {
-			return cache.MatchClass(line, cache.Shared, cache.Victim)
+		homeMatch: func(line mem.Line) cache.Query {
+			return cache.Query{Line: line, Classes: cache.MaskShared | cache.MaskVictim, Owner: cache.AnyOwner}
 		},
 		onHomeHit: a.onHomeHit,
 		policyFor: func(bank int) cache.Policy { return a.policies[bank] },
@@ -123,7 +123,7 @@ func (a *ESPNUCA) onHomeHit(t sim.Cycle, c int, line mem.Line, bank, set int, bl
 	s := a.sp.s
 	if blk.Class == cache.Victim {
 		if blk.Owner != c {
-			s.Bank[bank].Reclass(set, cache.MatchClass(line, cache.Victim), cache.Shared, -1)
+			s.Bank[bank].Reclass(set, cache.ClassQuery(line, cache.Victim), cache.Shared, -1)
 			s.reclassWhere(line, bank, cache.Shared)
 			s.markShared(line)
 		}

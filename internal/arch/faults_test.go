@@ -32,7 +32,7 @@ func TestInjectPhantomResidencyDetected(t *testing.T) {
 	sys.Access(0, 0, 100, false)
 	// Remove the block from its bank behind the bookkeeping's back.
 	bank, set := s.Map.Shared(100)
-	if _, ok := s.Bank[bank].Invalidate(set, cache.MatchLine(100)); !ok {
+	if _, ok := s.Bank[bank].Invalidate(set, cache.LineQuery(100)); !ok {
 		t.Fatal("setup: line not resident")
 	}
 	if err := s.CheckInvariants(); err == nil {

@@ -1,0 +1,59 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"espnuca/internal/mem"
+)
+
+// TestLineMapDifferential drives lineMap and a plain map with the same
+// random operation stream; a tiny initial table forces collisions, growth
+// and backward-shift deletion.
+func TestLineMapDifferential(t *testing.T) {
+	m := lineMap[int]{entries: make([]lineMapEntry[int], 8), mask: 7}
+	ref := map[mem.Line]int{}
+	rng := rand.New(rand.NewSource(7))
+	const universe = 128
+
+	for op := 0; op < 200_000; op++ {
+		l := mem.Line(rng.Intn(universe))
+		switch rng.Intn(4) {
+		case 0: // set
+			v := rng.Int()
+			m.set(l, v)
+			ref[l] = v
+		case 1: // ptr (materializes zero)
+			p := m.ptr(l)
+			r, ok := ref[l]
+			if !ok {
+				r = 0
+				ref[l] = 0
+			}
+			if *p != r {
+				t.Fatalf("op %d: ptr(%d) = %d, ref %d", op, l, *p, r)
+			}
+			*p = op
+			ref[l] = op
+		case 2: // get
+			v, ok := m.get(l)
+			r, rok := ref[l]
+			if ok != rok || v != r {
+				t.Fatalf("op %d: get(%d) = (%d,%v), ref (%d,%v)", op, l, v, ok, r, rok)
+			}
+		case 3: // del
+			m.del(l)
+			delete(ref, l)
+		}
+		if m.count != len(ref) {
+			t.Fatalf("op %d: count %d, ref %d", op, m.count, len(ref))
+		}
+	}
+	for l := mem.Line(0); l < universe; l++ {
+		v, ok := m.get(l)
+		r, rok := ref[l]
+		if ok != rok || v != r {
+			t.Fatalf("final: line %d mismatch (%d,%v) vs (%d,%v)", l, v, ok, r, rok)
+		}
+	}
+}

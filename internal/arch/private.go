@@ -48,7 +48,7 @@ func (a *Tiled) Access(at sim.Cycle, c int, line mem.Line, write bool) Result {
 	reqNode := s.NodeOfCore(c)
 
 	// Local private bank: same router, no hops.
-	blk := s.Bank[bank].Lookup(set, cache.MatchLine(line))
+	blk := s.Bank[bank].Lookup(set, cache.LineQuery(line))
 	st := s.Dir.State(line)
 	var t sim.Cycle
 	level := LocalL2

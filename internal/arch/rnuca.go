@@ -154,7 +154,7 @@ func (a *RNUCA) Access(at sim.Cycle, c int, line mem.Line, write bool) Result {
 	}
 
 	t := s.Mesh.Send(at, reqNode, node, noc.Control, 0)
-	blk := s.Bank[bank].Lookup(set, cache.MatchLine(line))
+	blk := s.Bank[bank].Lookup(set, cache.LineQuery(line))
 	switch {
 	case blk != nil && ownedByRemoteL1(st, c):
 		t = s.Bank[bank].TagProbe(t)

@@ -49,7 +49,7 @@ func (a *SharedNUCA) Access(at sim.Cycle, c int, line mem.Line, write bool) Resu
 
 	t := s.Mesh.Send(at, reqNode, homeNode, noc.Control, 0)
 	st := s.Dir.State(line)
-	blk := s.Bank[bank].Lookup(set, cache.MatchLine(line))
+	blk := s.Bank[bank].Lookup(set, cache.LineQuery(line))
 
 	switch {
 	case blk != nil && ownedByRemoteL1(st, c):

@@ -95,10 +95,10 @@ func (a *SPNUCA) Access(at sim.Cycle, c int, line mem.Line, write bool) Result {
 // espHooks lets ESP-NUCA extend the probe chain (replica lookup/creation
 // and victim hits) without duplicating it.
 type espHooks struct {
-	// privateMatch widens the step-1 match (replicas).
-	privateMatch func(line mem.Line, c int) cache.Match
-	// homeMatch widens the step-2 match (victims).
-	homeMatch func(line mem.Line) cache.Match
+	// privateMatch widens the step-1 query (replicas).
+	privateMatch func(line mem.Line, c int) cache.Query
+	// homeMatch widens the step-2 query (victims).
+	homeMatch func(line mem.Line) cache.Query
 	// onHomeHit runs after a home-bank hit is served (replica creation,
 	// victim reclassification). blk is the resident block.
 	onHomeHit func(t sim.Cycle, c int, line mem.Line, bank, set int, blk *cache.Block)
@@ -140,7 +140,7 @@ func (a *SPNUCA) resolve(at sim.Cycle, c int, line mem.Line, write bool, h *espH
 
 	// Step 1: the requester's private bank (same router: no hops).
 	pbank, pset := s.Map.Private(line, c)
-	pmatch := cache.MatchClass(line, cache.Private)
+	pmatch := cache.Query{Line: line, Classes: cache.MaskPrivate, Owner: cache.AnyOwner}
 	if h != nil && h.privateMatch != nil {
 		pmatch = h.privateMatch(line, c)
 	}
@@ -163,7 +163,7 @@ func (a *SPNUCA) resolve(at sim.Cycle, c int, line mem.Line, write bool, h *espH
 	homeNode := s.NodeOfBank(hbank)
 	t = s.Mesh.Send(t, reqNode, homeNode, noc.Control, 0)
 
-	hmatch := cache.MatchClass(line, cache.Shared)
+	hmatch := cache.Query{Line: line, Classes: cache.MaskShared, Owner: cache.AnyOwner}
 	if h != nil && h.homeMatch != nil {
 		hmatch = h.homeMatch(line)
 	}

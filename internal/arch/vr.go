@@ -52,7 +52,7 @@ func (a *VictimReplication) Access(at sim.Cycle, c int, line mem.Line, write boo
 	}
 	pbank, pset := s.Map.Private(line, c)
 	st := s.Dir.State(line)
-	if blk := s.Bank[pbank].Lookup(pset, cache.MatchClass(line, cache.Replica)); blk != nil && !ownedByRemoteL1(st, c) {
+	if blk := s.Bank[pbank].Lookup(pset, cache.ClassQuery(line, cache.Replica)); blk != nil && !ownedByRemoteL1(st, c) {
 		a.ReplicaHits++
 		t := s.Bank[pbank].Access(at)
 		if write {

@@ -81,6 +81,11 @@ type Bank struct {
 	sets  []Set
 	clock uint64
 	port  *sim.Resource
+	// helping is the bank-wide helping-block count (the sum of the per-set
+	// HelpCount counters), maintained incrementally so the observability
+	// layer's per-interval HelpingBlocks sample is O(1) instead of a walk
+	// over every set.
+	helping int
 
 	// Stats is exported for the harness; it has no behaviourial role.
 	Stats Stats
@@ -111,14 +116,10 @@ func (b *Bank) Config() Config { return b.cfg }
 
 // HelpingBlocks returns the number of helping blocks currently resident in
 // the bank (the sum of the per-set n counters); the observability layer
-// samples it into per-bank occupancy series.
-func (b *Bank) HelpingBlocks() int {
-	n := 0
-	for i := range b.sets {
-		n += b.sets[i].HelpCount
-	}
-	return n
-}
+// samples it into per-bank occupancy series every interval, so it is
+// maintained as a counter rather than recounted (CheckInvariants verifies
+// it against the full recount).
+func (b *Bank) HelpingBlocks() int { return b.helping }
 
 // Sets returns the number of sets.
 func (b *Bank) Sets() int { return len(b.sets) }
@@ -141,39 +142,55 @@ func (b *Bank) TagProbe(at sim.Cycle) sim.Cycle {
 	return b.port.ClaimFor(at, b.cfg.TagLatency) + b.cfg.TagLatency
 }
 
-// Match is a tag-comparison predicate. The private bit and owner take part
-// in the comparison exactly as the widened tags do in hardware, so each
-// architecture supplies its own matching rule.
-type Match func(*Block) bool
-
-// MatchLine matches any valid block holding the line regardless of class.
-func MatchLine(l mem.Line) Match {
-	return func(blk *Block) bool { return blk.Line == l }
+// Query is a concrete tag-comparison rule: the line, the set of classes
+// that may answer, and (optionally) the owning core. The private bit and
+// owner take part in the comparison exactly as the widened tags do in
+// hardware, so each architecture supplies its own matching rule — but as a
+// plain value compared inline, not a predicate closure: the previous
+// func(*Block) bool API heap-allocated a closure per tag lookup, which was
+// 18% of all objects allocated on the simulator's access path.
+type Query struct {
+	Line    mem.Line
+	Classes ClassMask
+	// Owner restricts the match to blocks owned by one core; AnyOwner
+	// (the zero-value constructors' default) disables the comparison.
+	Owner int
 }
 
-// MatchClass matches the line only in the given classes.
-func MatchClass(l mem.Line, classes ...Class) Match {
-	return func(blk *Block) bool {
-		if blk.Line != l {
-			return false
-		}
-		for _, c := range classes {
-			if blk.Class == c {
-				return true
-			}
-		}
-		return false
+// AnyOwner disables Query's owner comparison. It is deliberately outside
+// the valid owner range (cores are small non-negative ints, -1 marks
+// shared blocks).
+const AnyOwner = -1 << 30
+
+// LineQuery matches any block holding the line regardless of class.
+func LineQuery(l mem.Line) Query {
+	return Query{Line: l, Classes: AnyClass, Owner: AnyOwner}
+}
+
+// ClassQuery matches the line only in the given classes.
+func ClassQuery(l mem.Line, classes ...Class) Query {
+	var m ClassMask
+	for _, c := range classes {
+		m |= c.Mask()
 	}
+	return Query{Line: l, Classes: m, Owner: AnyOwner}
 }
 
-// Lookup searches set idx for a block satisfying m and, on a hit, updates
+// matches reports whether a valid block satisfies the query.
+func (q Query) matches(blk *Block) bool {
+	return blk.Line == q.Line &&
+		q.Classes&blk.Class.Mask() != 0 &&
+		(q.Owner == AnyOwner || q.Owner == blk.Owner)
+}
+
+// Lookup searches set idx for a block satisfying q and, on a hit, updates
 // its LRU position. It returns the block (nil on miss).
-func (b *Bank) Lookup(idx int, m Match) *Block {
+func (b *Bank) Lookup(idx int, q Query) *Block {
 	b.Stats.Lookups++
 	set := &b.sets[idx]
 	for i := range set.Blocks {
 		blk := &set.Blocks[i]
-		if blk.Valid && m(blk) {
+		if blk.Valid && q.matches(blk) {
 			b.clock++
 			blk.lastUse = b.clock
 			b.Stats.Hits++
@@ -185,11 +202,11 @@ func (b *Bank) Lookup(idx int, m Match) *Block {
 }
 
 // Peek searches without touching LRU state or statistics.
-func (b *Bank) Peek(idx int, m Match) *Block {
+func (b *Bank) Peek(idx int, q Query) *Block {
 	set := &b.sets[idx]
 	for i := range set.Blocks {
 		blk := &set.Blocks[i]
-		if blk.Valid && m(blk) {
+		if blk.Valid && q.matches(blk) {
 			return blk
 		}
 	}
@@ -241,6 +258,7 @@ func (b *Bank) Insert(idx int, nb Block, pol Policy) Evicted {
 	if old.Class.Helping() {
 		b.Stats.HelpEvicted++
 		set.HelpCount--
+		b.helping--
 	}
 	b.place(set, way, nb)
 	return Evicted{Block: old, Valid: true}
@@ -253,19 +271,21 @@ func (b *Bank) place(set *Set, way int, nb Block) {
 	b.Stats.Inserts++
 	if nb.Class.Helping() {
 		set.HelpCount++
+		b.helping++
 	}
 }
 
-// Invalidate removes the first block matching m from set idx and returns
+// Invalidate removes the first block matching q from set idx and returns
 // it (Valid=false result if absent).
-func (b *Bank) Invalidate(idx int, m Match) (Block, bool) {
+func (b *Bank) Invalidate(idx int, q Query) (Block, bool) {
 	set := &b.sets[idx]
 	for i := range set.Blocks {
 		blk := &set.Blocks[i]
-		if blk.Valid && m(blk) {
+		if blk.Valid && q.matches(blk) {
 			old := *blk
 			if blk.Class.Helping() {
 				set.HelpCount--
+				b.helping--
 			}
 			blk.Valid = false
 			return old, true
@@ -275,19 +295,21 @@ func (b *Bank) Invalidate(idx int, m Match) (Block, bool) {
 }
 
 // Reclass changes the class of a resident block in place, maintaining the
-// helping counter. It returns false if no block matches m.
-func (b *Bank) Reclass(idx int, m Match, to Class, owner int) bool {
+// helping counters. It returns false if no block matches q.
+func (b *Bank) Reclass(idx int, q Query, to Class, owner int) bool {
 	set := &b.sets[idx]
 	for i := range set.Blocks {
 		blk := &set.Blocks[i]
-		if blk.Valid && m(blk) {
+		if blk.Valid && q.matches(blk) {
 			if blk.Class.Helping() {
 				set.HelpCount--
+				b.helping--
 			}
 			blk.Class = to
 			blk.Owner = owner
 			if to.Helping() {
 				set.HelpCount++
+				b.helping++
 			}
 			return true
 		}
@@ -295,17 +317,14 @@ func (b *Bank) Reclass(idx int, m Match, to Class, owner int) bool {
 	return false
 }
 
-// LRUWay returns the least-recently-used way among those satisfying filter
-// (nil filter = all valid ways), or -1 if none qualifies.
-func (b *Bank) LRUWay(idx int, filter func(*Block) bool) int {
+// LRUWay returns the least-recently-used way among the valid blocks whose
+// class is in mask (AnyClass = all valid ways), or -1 if none qualifies.
+func (b *Bank) LRUWay(idx int, mask ClassMask) int {
 	set := &b.sets[idx]
 	best, bestUse := -1, uint64(0)
 	for i := range set.Blocks {
 		blk := &set.Blocks[i]
-		if !blk.Valid {
-			continue
-		}
-		if filter != nil && !filter(blk) {
+		if !blk.Valid || mask&blk.Class.Mask() == 0 {
 			continue
 		}
 		if best == -1 || blk.lastUse < bestUse {
@@ -319,11 +338,13 @@ func (b *Bank) LRUWay(idx int, filter func(*Block) bool) int {
 // duplicate first-class tags). Tests and debug builds call it; it returns
 // a descriptive error on the first violation.
 func (b *Bank) CheckInvariants() error {
+	helping := 0
 	for si := range b.sets {
 		set := &b.sets[si]
 		if got := set.recount(); got != set.HelpCount {
 			return fmt.Errorf("cache: set %d helping counter %d, actual %d", si, set.HelpCount, got)
 		}
+		helping += set.HelpCount
 		seen := map[mem.Line][]Class{}
 		for i := range set.Blocks {
 			blk := &set.Blocks[i]
@@ -337,6 +358,9 @@ func (b *Bank) CheckInvariants() error {
 			}
 			seen[blk.Line] = append(seen[blk.Line], blk.Class)
 		}
+	}
+	if helping != b.helping {
+		return fmt.Errorf("cache: bank helping counter %d, actual %d", b.helping, helping)
 	}
 	return nil
 }

@@ -43,14 +43,14 @@ func TestInsertAndLookup(t *testing.T) {
 	if ev.Valid || ev.Refused {
 		t.Fatalf("insert into empty set evicted: %+v", ev)
 	}
-	got := b.Lookup(1, MatchLine(100))
+	got := b.Lookup(1, LineQuery(100))
 	if got == nil || got.Owner != 3 || got.Class != Private {
 		t.Fatalf("Lookup = %+v", got)
 	}
-	if b.Lookup(1, MatchLine(101)) != nil {
+	if b.Lookup(1, LineQuery(101)) != nil {
 		t.Fatal("lookup of absent line hit")
 	}
-	if b.Lookup(2, MatchLine(100)) != nil {
+	if b.Lookup(2, LineQuery(100)) != nil {
 		t.Fatal("lookup in wrong set hit")
 	}
 	if b.Stats.Hits != 1 || b.Stats.Misses != 2 {
@@ -62,13 +62,13 @@ func TestMatchClassSelectivity(t *testing.T) {
 	b := mustBank(t, 1, 4)
 	b.Insert(0, blk(7, Private, 0), FlatLRU{})
 	b.Insert(0, blk(7, Shared, -1), FlatLRU{})
-	if got := b.Lookup(0, MatchClass(7, Shared)); got == nil || got.Class != Shared {
+	if got := b.Lookup(0, ClassQuery(7, Shared)); got == nil || got.Class != Shared {
 		t.Fatalf("shared lookup = %+v", got)
 	}
-	if got := b.Lookup(0, MatchClass(7, Private)); got == nil || got.Class != Private {
+	if got := b.Lookup(0, ClassQuery(7, Private)); got == nil || got.Class != Private {
 		t.Fatalf("private lookup = %+v", got)
 	}
-	if got := b.Lookup(0, MatchClass(7, Victim, Replica)); got != nil {
+	if got := b.Lookup(0, ClassQuery(7, Victim, Replica)); got != nil {
 		t.Fatalf("helping lookup hit a first-class block: %+v", got)
 	}
 }
@@ -77,12 +77,12 @@ func TestFlatLRUEvictsOldest(t *testing.T) {
 	b := mustBank(t, 1, 2)
 	b.Insert(0, blk(1, Private, 0), FlatLRU{})
 	b.Insert(0, blk(2, Private, 0), FlatLRU{})
-	b.Lookup(0, MatchLine(1)) // touch 1; 2 becomes LRU
+	b.Lookup(0, LineQuery(1)) // touch 1; 2 becomes LRU
 	ev := b.Insert(0, blk(3, Private, 0), FlatLRU{})
 	if !ev.Valid || ev.Block.Line != 2 {
 		t.Fatalf("evicted %+v, want line 2", ev)
 	}
-	if b.Peek(0, MatchLine(1)) == nil || b.Peek(0, MatchLine(3)) == nil {
+	if b.Peek(0, LineQuery(1)) == nil || b.Peek(0, LineQuery(3)) == nil {
 		t.Fatal("resident set wrong after eviction")
 	}
 }
@@ -91,7 +91,7 @@ func TestPeekDoesNotTouch(t *testing.T) {
 	b := mustBank(t, 1, 2)
 	b.Insert(0, blk(1, Private, 0), FlatLRU{})
 	b.Insert(0, blk(2, Private, 0), FlatLRU{})
-	b.Peek(0, MatchLine(1)) // must NOT refresh line 1
+	b.Peek(0, LineQuery(1)) // must NOT refresh line 1
 	ev := b.Insert(0, blk(3, Private, 0), FlatLRU{})
 	if !ev.Valid || ev.Block.Line != 1 {
 		t.Fatalf("evicted %+v, want line 1 (Peek must not touch LRU)", ev)
@@ -104,14 +104,14 @@ func TestInvalidate(t *testing.T) {
 	if b.Set(0).HelpCount != 1 {
 		t.Fatalf("HelpCount = %d, want 1", b.Set(0).HelpCount)
 	}
-	old, ok := b.Invalidate(0, MatchLine(5))
+	old, ok := b.Invalidate(0, LineQuery(5))
 	if !ok || old.Line != 5 {
 		t.Fatalf("Invalidate = %+v, %v", old, ok)
 	}
 	if b.Set(0).HelpCount != 0 {
 		t.Fatalf("HelpCount = %d after invalidate, want 0", b.Set(0).HelpCount)
 	}
-	if _, ok := b.Invalidate(0, MatchLine(5)); ok {
+	if _, ok := b.Invalidate(0, LineQuery(5)); ok {
 		t.Fatal("double invalidate succeeded")
 	}
 }
@@ -119,19 +119,19 @@ func TestInvalidate(t *testing.T) {
 func TestReclassMaintainsHelpCount(t *testing.T) {
 	b := mustBank(t, 1, 4)
 	b.Insert(0, blk(5, Private, 2), FlatLRU{})
-	if !b.Reclass(0, MatchLine(5), Victim, 2) {
+	if !b.Reclass(0, LineQuery(5), Victim, 2) {
 		t.Fatal("Reclass failed")
 	}
 	if b.Set(0).HelpCount != 1 {
 		t.Fatalf("HelpCount = %d after private->victim, want 1", b.Set(0).HelpCount)
 	}
-	if !b.Reclass(0, MatchLine(5), Shared, -1) {
+	if !b.Reclass(0, LineQuery(5), Shared, -1) {
 		t.Fatal("Reclass failed")
 	}
 	if b.Set(0).HelpCount != 0 {
 		t.Fatalf("HelpCount = %d after victim->shared, want 0", b.Set(0).HelpCount)
 	}
-	if b.Reclass(0, MatchLine(99), Shared, -1) {
+	if b.Reclass(0, LineQuery(99), Shared, -1) {
 		t.Fatal("Reclass of absent line succeeded")
 	}
 	if err := b.CheckInvariants(); err != nil {
@@ -180,11 +180,11 @@ func TestLRUWayFilter(t *testing.T) {
 	b.Insert(0, blk(1, Private, 0), FlatLRU{})
 	b.Insert(0, blk(2, Shared, -1), FlatLRU{})
 	b.Insert(0, blk(3, Victim, 1), FlatLRU{})
-	w := b.LRUWay(0, func(blk *Block) bool { return blk.Class.Helping() })
+	w := b.LRUWay(0, HelpingMask)
 	if w < 0 || b.Set(0).Blocks[w].Line != 3 {
 		t.Fatalf("helping LRU way = %d", w)
 	}
-	if b.LRUWay(0, func(blk *Block) bool { return blk.Class == Replica }) != -1 {
+	if b.LRUWay(0, MaskReplica) != -1 {
 		t.Fatal("LRUWay found nonexistent class")
 	}
 }
@@ -258,17 +258,17 @@ func TestBankInvariantProperty(t *testing.T) {
 				// Avoid duplicate same-class same-line copies, as the
 				// coherence layer does.
 				c := classes[rng.Intn(4)]
-				if b.Peek(set, MatchClass(line, c)) == nil {
+				if b.Peek(set, ClassQuery(line, c)) == nil {
 					b.Insert(set, blk(line, c, rng.Intn(8)), FlatLRU{})
 				}
 			case 1:
-				b.Lookup(set, MatchLine(line))
+				b.Lookup(set, LineQuery(line))
 			case 2:
-				b.Invalidate(set, MatchLine(line))
+				b.Invalidate(set, LineQuery(line))
 			case 3:
 				c := classes[rng.Intn(4)]
-				if b.Peek(set, MatchClass(line, c)) == nil {
-					b.Reclass(set, MatchLine(line), c, rng.Intn(8))
+				if b.Peek(set, ClassQuery(line, c)) == nil {
+					b.Reclass(set, LineQuery(line), c, rng.Intn(8))
 				}
 			}
 			if err := b.CheckInvariants(); err != nil {
@@ -297,7 +297,7 @@ func TestShadowPolicyLearnsUtility(t *testing.T) {
 	// shared side.
 	for i := 0; i < 40; i++ {
 		line := mem.Line(10 + i%5)
-		if b.Lookup(0, MatchClass(line, Private)) == nil {
+		if b.Lookup(0, ClassQuery(line, Private)) == nil {
 			p.OnMiss(0, line, Private)
 			b.Insert(0, blk(line, Private, 0), p)
 		}
@@ -308,7 +308,7 @@ func TestShadowPolicyLearnsUtility(t *testing.T) {
 	}
 	// With private utility dominant, a new private insert should evict
 	// from the shared side while any shared blocks remain.
-	if b.Peek(0, MatchClass(3, Shared)) != nil || b.Peek(0, MatchClass(4, Shared)) != nil {
+	if b.Peek(0, ClassQuery(3, Shared)) != nil || b.Peek(0, ClassQuery(4, Shared)) != nil {
 		ev := b.Insert(0, blk(99, Private, 0), p)
 		if !ev.Valid || sideOfTest(ev.Block.Class) != 1 {
 			t.Fatalf("evicted %+v, want a shared-side block", ev)
@@ -372,7 +372,7 @@ func TestStaticPartitionBudgetProperty(t *testing.T) {
 			set := rng.Intn(2)
 			line := mem.Line(rng.Intn(512))
 			c := classes[rng.Intn(2)]
-			if b.Peek(set, MatchClass(line, c)) != nil {
+			if b.Peek(set, ClassQuery(line, c)) != nil {
 				continue
 			}
 			b.Insert(set, Block{Valid: true, Line: line, Class: c, Owner: 0}, pol)
@@ -416,7 +416,7 @@ func TestShadowPolicyBoundsProperty(t *testing.T) {
 			set := rng.Intn(2)
 			line := mem.Line(rng.Intn(128))
 			c := classes[rng.Intn(2)]
-			if b.Peek(set, MatchClass(line, c)) == nil {
+			if b.Peek(set, ClassQuery(line, c)) == nil {
 				p.OnMiss(set, line, c)
 				ev := b.Insert(set, Block{Valid: true, Line: line, Class: c, Owner: 0}, p)
 				if ev.Refused {
@@ -428,5 +428,49 @@ func TestShadowPolicyBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHelpingBlocksCounter checks the bank-wide O(1) helping-block
+// counter against a full recount through every mutation path: place,
+// evict, invalidate and reclass, across multiple sets.
+func TestHelpingBlocksCounter(t *testing.T) {
+	b := mustBank(t, 4, 2)
+	recount := func() int {
+		n := 0
+		for si := 0; si < b.Sets(); si++ {
+			n += b.Set(si).recount()
+		}
+		return n
+	}
+	check := func(step string) {
+		t.Helper()
+		if got, want := b.HelpingBlocks(), recount(); got != want {
+			t.Fatalf("%s: HelpingBlocks() = %d, recount %d", step, got, want)
+		}
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+	}
+	check("empty")
+	b.Insert(0, blk(1, Replica, 0), FlatLRU{})
+	b.Insert(0, blk(2, Victim, 1), FlatLRU{})
+	b.Insert(1, blk(3, Private, 0), FlatLRU{})
+	check("after inserts")
+	// Evicting a helping block through a full set decrements the counter.
+	b.Insert(0, blk(4, Private, 2), FlatLRU{})
+	check("after evicting helper")
+	// Reclass in both directions.
+	b.Reclass(1, LineQuery(3), Victim, 0)
+	check("first-class -> helping")
+	b.Reclass(1, LineQuery(3), Shared, -1)
+	check("helping -> first-class")
+	// Invalidate a helping block.
+	if _, ok := b.Invalidate(0, LineQuery(2)); !ok {
+		t.Fatal("line 2 missing")
+	}
+	check("after invalidate")
+	if b.HelpingBlocks() != recount() {
+		t.Fatal("counter drifted")
 	}
 }

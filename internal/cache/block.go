@@ -53,6 +53,28 @@ func (c Class) FirstClass() bool { return c == Private || c == Shared }
 // Helping reports whether the class is a replica or victim.
 func (c Class) Helping() bool { return c == Replica || c == Victim }
 
+// ClassMask is a bit set of Classes, indexed by class value; tag queries
+// and LRU filters compare against it inline instead of calling a
+// predicate.
+type ClassMask uint8
+
+// Mask returns the singleton mask for the class.
+func (c Class) Mask() ClassMask { return 1 << c }
+
+// Class-mask constants for the common matching rules.
+const (
+	MaskPrivate = ClassMask(1 << Private)
+	MaskShared  = ClassMask(1 << Shared)
+	MaskReplica = ClassMask(1 << Replica)
+	MaskVictim  = ClassMask(1 << Victim)
+	// AnyClass matches every class.
+	AnyClass = MaskPrivate | MaskShared | MaskReplica | MaskVictim
+	// FirstClassMask matches private and shared (non-helping) blocks.
+	FirstClassMask = MaskPrivate | MaskShared
+	// HelpingMask matches replica and victim (helping) blocks.
+	HelpingMask = MaskReplica | MaskVictim
+)
+
 // Block is one tag-array entry.
 type Block struct {
 	Valid bool

@@ -7,7 +7,7 @@ type FlatLRU struct{}
 
 // PickVictim implements Policy.
 func (FlatLRU) PickVictim(b *Bank, setIdx int, _ Class) int {
-	return b.LRUWay(setIdx, nil)
+	return b.LRUWay(setIdx, AnyClass)
 }
 
 // StaticPartition reserves a fixed number of ways per set for private
@@ -41,8 +41,9 @@ func (p StaticPartition) PickVictim(b *Bank, setIdx int, incoming Class) int {
 	if !privateSide {
 		budget = b.Ways() - p.PrivateWays
 	}
-	side := func(blk *Block) bool {
-		return (blk.Class == Private || blk.Class == Replica) == privateSide
+	side := MaskPrivate | MaskReplica
+	if !privateSide {
+		side = MaskShared | MaskVictim
 	}
 	if count >= budget {
 		// Partition full: evict within the partition.
@@ -50,8 +51,7 @@ func (p StaticPartition) PickVictim(b *Bank, setIdx int, incoming Class) int {
 	}
 	// Partition has headroom: take a way from the other side (LRU there),
 	// falling back to own side if the other side is empty.
-	other := func(blk *Block) bool { return !side(blk) }
-	if w := b.LRUWay(setIdx, other); w >= 0 {
+	if w := b.LRUWay(setIdx, AnyClass&^side); w >= 0 {
 		return w
 	}
 	return b.LRUWay(setIdx, side)

@@ -76,7 +76,11 @@ func (p *ShadowPolicy) PickVictim(b *Bank, setIdx int, incoming Class) int {
 		loser = 1
 	}
 	pick := func(side int) int {
-		return b.LRUWay(setIdx, func(blk *Block) bool { return sideOf(blk.Class) == side })
+		mask := MaskPrivate | MaskReplica
+		if side == 1 {
+			mask = MaskShared | MaskVictim
+		}
+		return b.LRUWay(setIdx, mask)
 	}
 	way := pick(loser)
 	if way < 0 {

@@ -314,7 +314,7 @@ func TestL1FillUpgradeInPlace(t *testing.T) {
 		t.Fatalf("upgrade fill displaced %+v", wb)
 	}
 	set := l.setOf(100)
-	blk := l.data[0].Peek(set, cache.MatchLine(100))
+	blk := l.data[0].Peek(set, cache.LineQuery(100))
 	if blk == nil || !blk.Dirty {
 		t.Fatal("upgrade did not mark dirty")
 	}

@@ -91,7 +91,7 @@ func (l *L1s) bank(c int, ifetch bool) *cache.Bank {
 func (l *L1s) Lookup(c int, line mem.Line, write, ifetch bool) bool {
 	b := l.bank(c, ifetch)
 	set := l.setOf(line)
-	blk := b.Lookup(set, cache.MatchLine(line))
+	blk := b.Lookup(set, cache.LineQuery(line))
 	hit := blk != nil
 	if hit && write {
 		// Upgrade check: a write needs every token.
@@ -124,7 +124,7 @@ func (l *L1s) Lookup(c int, line mem.Line, write, ifetch bool) bool {
 func (l *L1s) Fill(c int, line mem.Line, write, ifetch bool) WriteBack {
 	b := l.bank(c, ifetch)
 	set := l.setOf(line)
-	if blk := b.Peek(set, cache.MatchLine(line)); blk != nil {
+	if blk := b.Peek(set, cache.LineQuery(line)); blk != nil {
 		// Already present (upgrade): just set dirty.
 		if write {
 			blk.Dirty = true
@@ -147,10 +147,10 @@ func (l *L1s) Fill(c int, line mem.Line, write, ifetch bool) WriteBack {
 // dirty copy was dropped.
 func (l *L1s) Invalidate(c int, line mem.Line) (dirty bool) {
 	set := l.setOf(line)
-	if old, ok := l.data[c].Invalidate(set, cache.MatchLine(line)); ok && old.Dirty {
+	if old, ok := l.data[c].Invalidate(set, cache.LineQuery(line)); ok && old.Dirty {
 		dirty = true
 	}
-	if old, ok := l.instr[c].Invalidate(set, cache.MatchLine(line)); ok && old.Dirty {
+	if old, ok := l.instr[c].Invalidate(set, cache.LineQuery(line)); ok && old.Dirty {
 		dirty = true
 	}
 	return dirty
@@ -170,8 +170,8 @@ func (l *L1s) InvalidateSharers(line mem.Line, mask uint8, keep int) {
 // touching LRU state.
 func (l *L1s) Has(c int, line mem.Line) bool {
 	set := l.setOf(line)
-	return l.data[c].Peek(set, cache.MatchLine(line)) != nil ||
-		l.instr[c].Peek(set, cache.MatchLine(line)) != nil
+	return l.data[c].Peek(set, cache.LineQuery(line)) != nil ||
+		l.instr[c].Peek(set, cache.LineQuery(line)) != nil
 }
 
 // Access claims core c's L1 port for timing and returns the completion

@@ -425,7 +425,7 @@ func TestProtectedLRUCapProperty(t *testing.T) {
 			set := rng.Intn(4)
 			line := mem.Line(rng.Intn(256))
 			c := classes[rng.Intn(4)]
-			if b.Peek(set, cache.MatchClass(line, c)) != nil {
+			if b.Peek(set, cache.ClassQuery(line, c)) != nil {
 				continue
 			}
 			b.Insert(set, cache.Block{Valid: true, Line: line, Class: c, Owner: rng.Intn(8)}, pol)

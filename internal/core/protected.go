@@ -171,7 +171,7 @@ func (p ProtectedLRU) PickVictim(b *cache.Bank, setIdx int, incoming cache.Class
 	set := b.Set(setIdx)
 	limit := p.S.LimitFor(set.Role)
 	if set.HelpCount >= limit {
-		if w := b.LRUWay(setIdx, func(blk *cache.Block) bool { return blk.Class.Helping() }); w >= 0 {
+		if w := b.LRUWay(setIdx, cache.HelpingMask); w >= 0 {
 			return w
 		}
 		// No helping block to displace. A first-class block falls back to
@@ -180,7 +180,7 @@ func (p ProtectedLRU) PickVictim(b *cache.Bank, setIdx int, incoming cache.Class
 			return -1
 		}
 	}
-	return b.LRUWay(setIdx, nil)
+	return b.LRUWay(setIdx, cache.AnyClass)
 }
 
 // AssignRoles marks the sampled sets of a bank: the requested number of

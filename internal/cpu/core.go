@@ -13,8 +13,6 @@
 package cpu
 
 import (
-	"container/heap"
-
 	"espnuca/internal/arch"
 	"espnuca/internal/mem"
 	"espnuca/internal/sim"
@@ -39,7 +37,11 @@ func DefaultConfig() Config {
 	return Config{IssueWidth: 4, Window: 64, MSHRs: 16, Quantum: 256, L1HitCycles: 3}
 }
 
-// missHeap orders outstanding misses by completion cycle.
+// missHeap orders outstanding misses by completion cycle. Like the event
+// queue in internal/sim, it is a hand-rolled binary min-heap rather than a
+// container/heap implementation: the interface-based API boxes every
+// missEntry into an `any` on Push and Pop, one heap allocation per L1 miss
+// on the simulator's hot path.
 type missHeap []missEntry
 
 type missEntry struct {
@@ -47,11 +49,58 @@ type missEntry struct {
 	instr uint64 // instruction index that issued it
 }
 
-func (h missHeap) Len() int           { return len(h) }
-func (h missHeap) Less(i, j int) bool { return h[i].done < h[j].done }
-func (h missHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *missHeap) Push(x any)        { *h = append(*h, x.(missEntry)) }
-func (h *missHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h missHeap) less(i, j int) bool { return h[i].done < h[j].done }
+
+func (h missHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h missHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func (h *missHeap) push(e missEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+// popMin removes and returns the earliest-completing miss, keeping the
+// backing array's capacity for reuse.
+func (h *missHeap) popMin() missEntry {
+	q := *h
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	if n > 1 {
+		q.down(0)
+	}
+	*h = q
+	return min
+}
+
 func (h missHeap) oldestInstr() uint64 { // min instruction index among entries
 	min := ^uint64(0)
 	for _, e := range h {
@@ -244,7 +293,7 @@ func (c *Core) slice() {
 func (c *Core) handleMiss(line mem.Line, write, ifetch bool) {
 	sub := c.sys.Sub()
 	res := c.sys.Access(c.localTime, c.ID, line, write)
-	heap.Push(&c.misses, missEntry{done: res.Done, instr: c.retired})
+	c.misses.push(missEntry{done: res.Done, instr: c.retired})
 	wb := sub.L1.Fill(c.ID, line, write, ifetch)
 	if wb.Valid {
 		c.sys.WriteBack(res.Done, c.ID, wb.Line, wb.Dirty)
@@ -277,7 +326,7 @@ func (c *Core) prefetch(miss mem.Line) {
 // reapCompleted retires misses whose data has arrived.
 func (c *Core) reapCompleted() {
 	for len(c.misses) > 0 && c.misses[0].done <= c.localTime {
-		heap.Pop(&c.misses)
+		c.misses.popMin()
 	}
 }
 
@@ -286,7 +335,7 @@ func (c *Core) waitOldest() {
 	if len(c.misses) == 0 {
 		return
 	}
-	e := heap.Pop(&c.misses).(missEntry)
+	e := c.misses.popMin()
 	if e.done > c.localTime {
 		c.Stalls += e.done - c.localTime
 		c.localTime = e.done
