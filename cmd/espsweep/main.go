@@ -12,9 +12,12 @@
 //	espsweep -figure 8 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	espsweep -figure 8 -quick -metrics-dir obs -trace   # per-run telemetry
 //	espsweep -all -cache-dir ~/.cache/espnuca           # memoize runs on disk
+//	espsweep -figure 8 -sample-windows 8                # sampled estimates
+//	espsweep -sample-error FT -sample-windows 8 -warmup 80000 -instructions 640000
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -80,6 +83,9 @@ func main() {
 		sweep    = flag.String("sweep", "", "'params' (S5.2 constants), 'hops', 'capacity' or 'l1' scaling sweeps")
 		stab     = flag.Bool("stability", false, "print the S6 performance-variance comparison")
 		instrs   = flag.Uint64("instructions", 0, "override measured quantum")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions (sample-error mode only)")
+		sampleW  = flag.Int("sample-windows", 0, "sampled mode: measurement windows per simulation (0 = full runs)")
+		sampleEW = flag.String("sample-error", "", "validate sampled vs full runs of this workload across the paper's seven architectures; prints JSON rows")
 		seeds    = flag.Int("seeds", 0, "override the number of perturbation seeds")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = all cores, 1 = serial)")
 		metrics  = flag.String("metrics-dir", "", "write per-run interval metrics (JSONL) into this directory")
@@ -123,6 +129,9 @@ func main() {
 	if *traceEv && *metrics == "" {
 		fail(fmt.Errorf("-trace requires -metrics-dir"))
 	}
+	if *sampleW > 0 && *metrics != "" {
+		fail(fmt.Errorf("-sample-windows is incompatible with -metrics-dir (windows share no timeline)"))
+	}
 	fo := espnuca.FigureOptions{
 		Quick:           *quick,
 		Seeds:           seedList,
@@ -132,6 +141,7 @@ func main() {
 		MetricsDir:      *metrics,
 		TraceEvents:     *traceEv,
 		MetricsInterval: *obsIval,
+		SampleWindows:   *sampleW,
 		CacheDir:        *cacheDir,
 	}
 
@@ -150,6 +160,8 @@ func main() {
 	}
 
 	switch {
+	case *sampleEW != "":
+		sampledError(*sampleEW, *sampleW, *warmup, *instrs)
 	case *stab:
 		stability(*quick, *parallel, *cacheDir)
 	case *sweep == "params":
@@ -187,6 +199,33 @@ func cachedRunner(dir string) (func(experiment.RunConfig) (experiment.RunResult,
 		if err := store.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "espsweep: cache index:", err)
 		}
+	}
+}
+
+// sampledError runs the sampled-mode validation harness (full vs sampled
+// on every architecture of the paper's evaluated set) and prints the rows
+// as a JSON array: relative errors on the headline metrics, the sampled
+// run's own confidence bound, and both wall clocks. scripts/bench.sh
+// parses this output to build and check BENCH_6.json.
+func sampledError(wl string, k int, warmup, instrs uint64) {
+	if k <= 0 {
+		k = 8
+	}
+	rc := experiment.DefaultRunConfig("esp-nuca", wl)
+	if warmup != 0 {
+		rc.Warmup = warmup
+	}
+	if instrs != 0 {
+		rc.Instructions = instrs
+	}
+	rows, err := experiment.SampledError(rc, k)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fail(err)
 	}
 }
 

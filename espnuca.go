@@ -63,6 +63,12 @@ type Options struct {
 	// CheckTokens enables per-transaction token-conservation checking
 	// (slower; for debugging and tests).
 	CheckTokens bool
+	// SampleWindows, when positive, runs in sampled mode: that many
+	// detailed measurement windows, functionally fast-forwarded, instead
+	// of one continuous simulation. The report's Sampled field carries
+	// the estimates' 95% confidence bounds. Not supported by RunDetailed
+	// (occupancy/energy inspection needs the single full-run system).
+	SampleWindows int
 }
 
 // Report is the outcome of one simulation run.
@@ -115,6 +121,7 @@ func (o Options) runConfig() (experiment.RunConfig, error) {
 	}
 	rc.System.CheckTokens = o.CheckTokens
 	rc.Core = cpu.DefaultConfig()
+	rc.SampleWindows = o.SampleWindows
 	return rc, nil
 }
 
@@ -147,6 +154,11 @@ type FigureOptions struct {
 	// MetricsInterval is the sampling interval in cycles (0 uses the
 	// harness default).
 	MetricsInterval uint64
+	// SampleWindows, when positive, regenerates the figure from sampled
+	// runs with that many measurement windows each (see
+	// Options.SampleWindows): far cheaper, clearly labeled estimates.
+	// Incompatible with MetricsDir.
+	SampleWindows int
 	// CacheDir, when set, memoizes every simulation in a
 	// content-addressed result cache rooted at this directory (see
 	// internal/resultcache). Re-running a figure with a warm cache
@@ -169,6 +181,7 @@ func (fo FigureOptions) internal() experiment.Options {
 		o.Instructions = fo.Instructions
 	}
 	o.Parallelism = fo.Parallelism
+	o.SampleWindows = fo.SampleWindows
 	o.Progress = fo.Progress
 	if fo.MetricsDir != "" {
 		o.Obs = &experiment.ObsSpec{
@@ -228,6 +241,9 @@ func RunDetailed(o Options) (DetailedReport, error) {
 	rc, err := o.runConfig()
 	if err != nil {
 		return DetailedReport{}, err
+	}
+	if rc.SampleWindows > 0 {
+		return DetailedReport{}, fmt.Errorf("espnuca: RunDetailed needs a full run (occupancy and energy inspect one system); unset SampleWindows")
 	}
 	sys, err := arch.Build(rc.Arch, rc.System)
 	if err != nil {

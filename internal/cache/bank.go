@@ -81,6 +81,9 @@ type Bank struct {
 	sets  []Set
 	clock uint64
 	port  *sim.Resource
+	// functional makes Access/TagProbe instant (no port claim); the
+	// sampled-run fast-forward warms tag state without paying timing.
+	functional bool
 	// helping is the bank-wide helping-block count (the sum of the per-set
 	// HelpCount counters), maintained incrementally so the observability
 	// layer's per-interval HelpingBlocks sample is O(1) instead of a walk
@@ -133,12 +136,23 @@ func (b *Bank) Set(idx int) *Set { return &b.sets[idx] }
 // Access claims the bank port for a full access arriving at cycle at and
 // returns the completion cycle.
 func (b *Bank) Access(at sim.Cycle) sim.Cycle {
+	if b.functional {
+		return at
+	}
 	return b.port.Claim(at) + b.cfg.Latency
 }
+
+// SetFunctional switches the bank between timed and functional mode:
+// functional accesses and tag probes complete instantly without
+// serializing on the port.
+func (b *Bank) SetFunctional(on bool) { b.functional = on }
 
 // TagProbe claims the bank port for a tag-only probe (miss detection)
 // arriving at cycle at and returns its completion cycle.
 func (b *Bank) TagProbe(at sim.Cycle) sim.Cycle {
+	if b.functional {
+		return at
+	}
 	return b.port.ClaimFor(at, b.cfg.TagLatency) + b.cfg.TagLatency
 }
 

@@ -14,7 +14,7 @@ import (
 // All of those invalidate every cached result, so the change must be
 // deliberate — update the constant only after confirming the drift is
 // intended (and bump CodeVersion when simulator behaviour changed).
-const goldenCanonicalKey = "7f0891ba89ac778d0fcea092280f1f9990086c7f8afcbf111d3649ef34136d00"
+const goldenCanonicalKey = "5f5b3c590fa7cf2d61655184066e714e1866ea73335f025af82ec496d9cb6a0e"
 
 func TestCanonicalKeyGolden(t *testing.T) {
 	rc := DefaultRunConfig("esp-nuca", "apache")
@@ -57,6 +57,7 @@ func TestCanonicalKeyStableAndSensitive(t *testing.T) {
 		"core":     func(rc *RunConfig) { rc.Core.MSHRs++ },
 		"wlLines":  func(rc *RunConfig) { rc.WorkloadL2Lines = 4096 },
 		"qos":      func(rc *RunConfig) { rc.System.QoS.ClassOf[3] = 1 },
+		"sampleW":  func(rc *RunConfig) { rc.SampleWindows = 8 },
 	}
 	for name, mod := range perturb {
 		alt := DefaultRunConfig("esp-nuca", "apache")
@@ -111,7 +112,10 @@ func TestCanonicalStringSortedFields(t *testing.T) {
 		}
 		last = i
 	}
-	if strings.Contains(s, "Metrics") {
+	if strings.Contains(s, "Metrics") || strings.Contains(s, "SampleParallelism") {
 		t.Errorf("canonical form leaked a canon:\"-\" field: %s", s)
+	}
+	if !strings.Contains(s, "SampleWindows:") {
+		t.Errorf("canonical form must cover SampleWindows (sampled results need distinct cache keys): %s", s)
 	}
 }

@@ -43,8 +43,24 @@ type RunConfig struct {
 	// scaled against (0: the simulated system's own L2). Capacity sweeps
 	// set it so changing the cache does not also change the workload.
 	WorkloadL2Lines int
-	// MaxCycles bounds runaway simulations (0 = no bound).
+	// MaxCycles bounds runaway simulations (0 = no bound). Expiry is not
+	// an error: the run returns whatever the cores retired by the bound
+	// (possibly failing with "made no progress" when that is nothing).
 	MaxCycles sim.Cycle
+
+	// SampleWindows, when positive, switches Run to SMARTS-style sampled
+	// execution: the measured budget is partitioned into that many
+	// strata and one detailed measurement window per stratum is
+	// simulated after a functional fast-forward (see sampled.go). The
+	// estimate's confidence bounds travel in RunResult.Sampled. The
+	// field participates in the canonical key, so a sampled result is
+	// never substituted for a full run by the result cache.
+	SampleWindows int
+	// SampleParallelism bounds the worker pool the measurement windows
+	// fan out over (0: all cores, 1: serial). Window results are
+	// bit-identical at any setting (TestSampledParallelDeterminism), so
+	// — like Matrix.Parallelism — it is excluded from the canonical key.
+	SampleParallelism int `canon:"-"`
 
 	// Metrics, when non-nil, receives this run's telemetry (see
 	// internal/obs): interval snapshots of per-bank hit rates and helping
@@ -108,10 +124,20 @@ type RunResult struct {
 
 	// L2Hits/L2Misses summarize L2 behaviour over L1 misses.
 	L1MissRate float64
+
+	// Sampled carries the per-window estimates and their 95% confidence
+	// half-widths when the result came from sampled execution
+	// (RunConfig.SampleWindows > 0); nil for full runs. Consumers that
+	// must not act on an estimate can (and should) gate on it.
+	Sampled *SampleEstimate `json:"Sampled,omitempty"`
 }
 
-// Run executes one simulation.
+// Run executes one simulation — full, or sampled when rc.SampleWindows
+// is positive.
 func Run(rc RunConfig) (RunResult, error) {
+	if rc.SampleWindows > 0 {
+		return RunSampled(rc)
+	}
 	rc.System.Seed = rc.Seed
 	sys, err := arch.Build(rc.Arch, rc.System)
 	if err != nil {
@@ -123,6 +149,12 @@ func Run(rc RunConfig) (RunResult, error) {
 // RunOn executes a simulation against a caller-built system; ablation
 // studies use it to flip architecture-internal knobs before running.
 func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
+	// Align the system with the run seed exactly as Run does when it
+	// builds the system itself: without this, a caller-built system runs
+	// its stochastic mechanisms (ASR, CC) on whatever seed the config
+	// happened to carry at build time.
+	rc.System.Seed = rc.Seed
+	sys.Sub().Reseed(rc.Seed)
 	spec, ok := workload.ByName(rc.Workload)
 	if !ok {
 		return RunResult{}, fmt.Errorf("experiment: unknown workload %q", rc.Workload)
@@ -132,7 +164,17 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 		wlLines = rc.System.L2Lines()
 	}
 	bound := spec.Bind(wlLines, rc.System.L1ILines(), rc.Seed)
+	// Idle/service cores run until the measured cores finish; give them
+	// an effectively unbounded target.
+	return runBound(rc, sys, bound, ^uint64(0)>>1, nil)
+}
 
+// runBound executes rc's warmup and measurement phases against a
+// prepared system and pre-positioned streams. idleTarget is the
+// retirement target of unmeasured cores; consumed, when non-nil,
+// receives every core's retired count (the sampled runner uses it to
+// resynchronize stream positions between windows).
+func runBound(rc RunConfig, sys arch.System, bound *workload.Bound, idleTarget uint64, consumed *[8]uint64) (RunResult, error) {
 	eng := enginePool.Get().(*sim.Engine)
 	defer func() {
 		eng.Reset()
@@ -143,9 +185,7 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 	for c := 0; c < rc.System.Cores; c++ {
 		target := rc.Warmup + rc.Instructions
 		if measured&(1<<uint(c)) == 0 {
-			// Idle/service cores run until the measured cores finish;
-			// give them an effectively unbounded target.
-			target = ^uint64(0) >> 1
+			target = idleTarget
 		}
 		cores[c] = cpu.New(c, rc.Core, eng, sys, bound.Streams[c], target)
 		cores[c].SetWarmup(rc.Warmup)
@@ -200,6 +240,9 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 	var ipcSum float64
 	var nMeasured int
 	for c := 0; c < rc.System.Cores; c++ {
+		if consumed != nil && c < len(consumed) {
+			consumed[c] = cores[c].Retired()
+		}
 		if measured&(1<<uint(c)) == 0 {
 			continue
 		}
@@ -248,16 +291,16 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 // statSnapshot freezes the substrate counters at the warmup boundary so
 // measurement reports deltas only.
 type statSnapshot struct {
-	counts, latency      [arch.NumLevels]uint64
-	dramReads, dramWrite uint64
-	l1Hits, l1Misses     uint64
+	counts, latency       [arch.NumLevels]uint64
+	dramReads, dramWrites uint64
+	l1Hits, l1Misses      uint64
 }
 
 func snapshot(s *arch.Substrate) statSnapshot {
 	return statSnapshot{
 		counts:    s.Counts,
 		latency:   s.Latency,
-		dramReads: s.DRAM.Reads, dramWrite: s.DRAM.Writes,
+		dramReads: s.DRAM.Reads, dramWrites: s.DRAM.Writes,
 		l1Hits:   s.L1.DataHits + s.L1.InstrHits,
 		l1Misses: s.L1.DataMisses + s.L1.InstrMisses,
 	}
@@ -276,7 +319,7 @@ func delta(s *arch.Substrate, b statSnapshot) statDelta {
 		d.latency[l] = s.Latency[l] - b.latency[l]
 	}
 	d.dramReads = s.DRAM.Reads - b.dramReads
-	d.dramWrites = s.DRAM.Writes - b.dramWrite
+	d.dramWrites = s.DRAM.Writes - b.dramWrites
 	misses := s.L1.DataMisses + s.L1.InstrMisses - b.l1Misses
 	hits := s.L1.DataHits + s.L1.InstrHits - b.l1Hits
 	d.l1Misses = misses

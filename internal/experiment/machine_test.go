@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"espnuca/internal/arch"
@@ -72,6 +74,69 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	}
 	if c.Cycles == a.Cycles && c.OffChipAccesses == a.OffChipAccesses {
 		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestRunOnSeedAlignment pins the Run/RunOn symmetry: a caller-built
+// system must run the stochastic mechanisms (ASR's probabilistic
+// allocation, CC's cooperation probability) on the run seed, not on
+// whatever seed the config carried at build time. Regression test for
+// RunOn results depending on build-time config state.
+func TestRunOnSeedAlignment(t *testing.T) {
+	for _, a := range []string{"asr", "cc"} {
+		rc := quickRC(a, "apache")
+		rc.Warmup, rc.Instructions = 6_000, 3_000
+		rc.Seed = 5
+		want, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := rc.System
+		cfg.Seed = 99 // stale seed a caller-built system might carry
+		sys, err := arch.Build(a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunOn(rc, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: RunOn with a stale build seed diverged from Run:\n got  %+v\n want %+v", a, got, want)
+		}
+	}
+}
+
+func TestRunNoProgressError(t *testing.T) {
+	rc := quickRC("shared", "apache")
+	rc.Warmup, rc.Instructions = 0, 0
+	if _, err := Run(rc); err == nil || !strings.Contains(err.Error(), "made no progress") {
+		t.Fatalf("err = %v, want a 'made no progress' failure for an empty budget", err)
+	}
+}
+
+// TestRunMaxCyclesTruncates pins the documented MaxCycles contract:
+// expiry is not an error — the run reports whatever the cores retired by
+// the bound.
+func TestRunMaxCyclesTruncates(t *testing.T) {
+	rc := quickRC("shared", "apache")
+	rc.Warmup = 0
+	rc.Instructions = 1 << 30 // far beyond what the cycle bound allows
+	rc.MaxCycles = 20_000
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired == 0 {
+		t.Fatal("truncated run retired nothing")
+	}
+	if res.Retired >= 8*rc.Instructions {
+		t.Fatalf("retired %d: the cycle bound did not truncate", res.Retired)
+	}
+	// Cores may overshoot the engine bound slightly (an in-flight slice
+	// drains its outstanding misses), but not by a meaningful fraction.
+	if res.Cycles > rc.MaxCycles+5_000 {
+		t.Fatalf("measured %d cycles, far beyond the %d bound", res.Cycles, rc.MaxCycles)
 	}
 }
 

@@ -57,6 +57,12 @@ type Matrix struct {
 	// execution. Every cell is an independent deterministic simulation,
 	// so the assembled Results are identical at any setting.
 	Parallelism int
+	// SampleWindows, when positive, executes every cell in sampled mode
+	// (see RunConfig.SampleWindows): each cell's RunResult is a windowed
+	// estimate carrying its confidence bounds in RunResult.Sampled.
+	// Within a cell the windows run serially — the matrix already fans
+	// cells out over the worker pool.
+	SampleWindows int
 	// Obs, when non-nil, captures per-run telemetry: each cell gets its
 	// own registry writing to Obs.Dir (simulation results are unaffected).
 	Obs *ObsSpec
@@ -108,6 +114,9 @@ func (m Matrix) cell(i int) (vi, wi, si int) {
 // called after every completed run with a monotonically increasing done
 // count (calls are serialized; the callback needs no locking of its own).
 func (m Matrix) Run(progress func(done, total int)) (Results, error) {
+	if m.Obs != nil && m.SampleWindows > 0 {
+		return nil, fmt.Errorf("experiment: telemetry capture is not supported in sampled mode")
+	}
 	// Validate the workload set up front, as the serial loop did before
 	// starting any simulation.
 	specs := make([]workload.Spec, len(m.Workloads))
@@ -137,6 +146,9 @@ func (m Matrix) Run(progress func(done, total int)) (Results, error) {
 			Seed:         m.Seeds[si],
 			System:       m.System,
 			Core:         DefaultRunConfig(v.Arch, m.Workloads[wi]).Core,
+
+			SampleWindows:     m.SampleWindows,
+			SampleParallelism: 1,
 		}
 		if v.CCProb >= 0 {
 			rc.System.CCProbability = v.CCProb

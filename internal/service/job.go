@@ -42,6 +42,11 @@ type RunSpec struct {
 	// probability. When set it must be in (0, 1]; anything else is
 	// rejected at submission.
 	CCProbability float64 `json:"cc_probability,omitempty"`
+	// SampleWindows, when positive, runs the job in sampled mode with
+	// that many measurement windows (see experiment.RunConfig). The
+	// result carries its confidence bounds in Sampled and is cached under
+	// a distinct key from the full run.
+	SampleWindows int `json:"sample_windows,omitempty"`
 }
 
 // Config lowers the spec to a RunConfig, validating names eagerly so a
@@ -72,6 +77,10 @@ func (sp RunSpec) Config() (experiment.RunConfig, error) {
 		}
 		rc.System.CCProbability = sp.CCProbability
 	}
+	if sp.SampleWindows < 0 {
+		return experiment.RunConfig{}, fmt.Errorf("service: sample_windows %d is negative", sp.SampleWindows)
+	}
+	rc.SampleWindows = sp.SampleWindows
 	return rc, nil
 }
 
@@ -99,6 +108,9 @@ type MatrixSpec struct {
 	// Parallelism bounds the worker pool this one matrix fans out over
 	// (0 defers to the server's per-job default).
 	Parallelism int `json:"parallelism,omitempty"`
+	// SampleWindows, when positive, executes every cell in sampled mode
+	// with that many measurement windows per cell.
+	SampleWindows int `json:"sample_windows,omitempty"`
 }
 
 // Matrix lowers the spec, validating workloads and variant names.
@@ -147,6 +159,10 @@ func (sp MatrixSpec) Matrix() (experiment.Matrix, error) {
 		m.Instructions = sp.Instructions
 	}
 	m.Parallelism = sp.Parallelism
+	if sp.SampleWindows < 0 {
+		return experiment.Matrix{}, fmt.Errorf("service: sample_windows %d is negative", sp.SampleWindows)
+	}
+	m.SampleWindows = sp.SampleWindows
 	return m, nil
 }
 

@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+// TestStreamSkipMatchesNext is the contract sampled execution rests on:
+// skipping n instructions leaves a stream in exactly the state n Next
+// calls would, on every core (including phased and idle streams).
+func TestStreamSkipMatchesNext(t *testing.T) {
+	for _, name := range []string{"apache", "gcc-4", "mcf-gzip"} {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %s", name)
+		}
+		skipped := spec.Bind(4096, 128, 7)
+		walked := spec.Bind(4096, 128, 7)
+		const n = 10_000
+		for c := 0; c < 8; c++ {
+			skipped.Streams[c].Skip(n)
+			for i := 0; i < n; i++ {
+				walked.Streams[c].Next()
+			}
+		}
+		for c := 0; c < 8; c++ {
+			for i := 0; i < 1_000; i++ {
+				a, b := skipped.Streams[c].Next(), walked.Streams[c].Next()
+				if a != b {
+					t.Fatalf("%s core %d: instruction %d after skip diverged: %+v vs %+v", name, c, i, a, b)
+				}
+			}
+		}
+	}
+}

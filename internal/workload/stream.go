@@ -157,6 +157,18 @@ func (s *Stream) Next() Instr {
 	return s.next()
 }
 
+// Skip advances the stream by n instructions without handing them to a
+// core: the generator state (RNG draws, recency rings, scan cursor,
+// phase alternation) moves exactly as if Next had been called n times.
+// Sampled runs use it to position a measurement window; because the CPU
+// model calls Next exactly once per retired instruction, a skip count
+// equals an instruction distance.
+func (s *Stream) Skip(n uint64) {
+	for ; n > 0; n-- {
+		s.Next()
+	}
+}
+
 // Phase reports the active profile name and completed phase switches.
 func (s *Stream) Phase() (string, int) {
 	if p := s.phase; p != nil {
