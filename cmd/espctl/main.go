@@ -163,6 +163,7 @@ func (c *client) submit(args []string) error {
 		fullSize = fs.Bool("full-size", false, "simulate the paper's full Table 2 machine")
 		ccProb   = fs.Float64("cc-prob", 0, "Cooperative Caching probability override (0 = default)")
 		sampleW  = fs.Int("sample-windows", 0, "sampled mode: measurement windows per simulation (0 = full run)")
+		shards   = fs.Int("shards", 0, "sharded engine: mesh-region shards per simulation (0 = serial engine)")
 
 		matrix     = fs.Bool("matrix", false, "submit a matrix job instead of a single run")
 		workloads  = fs.String("workloads", "", "comma-separated workloads (matrix jobs)")
@@ -212,6 +213,9 @@ func (c *client) submit(args []string) error {
 		if *sampleW > 0 {
 			m["sample_windows"] = *sampleW
 		}
+		if *shards > 0 {
+			m["engine_shards"] = *shards
+		}
 		spec["kind"], spec["matrix"] = "matrix", m
 	} else {
 		r := map[string]any{"arch": *archName, "workload": *wl}
@@ -232,6 +236,9 @@ func (c *client) submit(args []string) error {
 		}
 		if *sampleW > 0 {
 			r["sample_windows"] = *sampleW
+		}
+		if *shards > 0 {
+			r["engine_shards"] = *shards
 		}
 		spec["kind"], spec["run"] = "run", r
 	}

@@ -14,6 +14,9 @@
 //	espsweep -all -cache-dir ~/.cache/espnuca           # memoize runs on disk
 //	espsweep -figure 8 -sample-windows 8                # sampled estimates
 //	espsweep -sample-error FT -sample-windows 8 -warmup 80000 -instructions 640000
+//	espsweep -figure 8 -shards 8                        # sharded parallel engine
+//	espsweep -shard-error FT -shards 8 -warmup 80000 -instructions 640000
+//	espsweep -figure 8 -exectrace exec.trace            # runtime execution trace
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"sync"
 	"time"
 
@@ -86,6 +90,9 @@ func main() {
 		warmup   = flag.Uint64("warmup", 0, "override warmup instructions (sample-error mode only)")
 		sampleW  = flag.Int("sample-windows", 0, "sampled mode: measurement windows per simulation (0 = full runs)")
 		sampleEW = flag.String("sample-error", "", "validate sampled vs full runs of this workload across the paper's seven architectures; prints JSON rows")
+		shards   = flag.Int("shards", 0, "sharded engine: partition each simulation into this many mesh-region shards (0 = serial engine)")
+		shardP   = flag.Int("shard-parallel", 0, "goroutines per sharded simulation (0 = one per shard; single runs only)")
+		shardEW  = flag.String("shard-error", "", "validate sharded vs serial full runs of this workload across the paper's seven architectures; prints JSON rows")
 		seeds    = flag.Int("seeds", 0, "override the number of perturbation seeds")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = all cores, 1 = serial)")
 		metrics  = flag.String("metrics-dir", "", "write per-run interval metrics (JSONL) into this directory")
@@ -94,6 +101,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "memoize simulations in a content-addressed result cache at this directory")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		execTr   = flag.String("exectrace", "", "write a runtime execution trace (go tool trace) to this file")
 	)
 	flag.Parse()
 
@@ -107,6 +115,17 @@ func main() {
 			fail(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *execTr != "" {
+		f, err := os.Create(*execTr)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fail(err)
+		}
+		defer trace.Stop()
 	}
 	if *memProf != "" {
 		defer func() {
@@ -132,6 +151,9 @@ func main() {
 	if *sampleW > 0 && *metrics != "" {
 		fail(fmt.Errorf("-sample-windows is incompatible with -metrics-dir (windows share no timeline)"))
 	}
+	if *sampleW > 0 && *shards > 0 {
+		fail(fmt.Errorf("-sample-windows and -shards are mutually exclusive (pick one execution mode)"))
+	}
 	fo := espnuca.FigureOptions{
 		Quick:           *quick,
 		Seeds:           seedList,
@@ -142,6 +164,7 @@ func main() {
 		TraceEvents:     *traceEv,
 		MetricsInterval: *obsIval,
 		SampleWindows:   *sampleW,
+		EngineShards:    *shards,
 		CacheDir:        *cacheDir,
 	}
 
@@ -162,6 +185,8 @@ func main() {
 	switch {
 	case *sampleEW != "":
 		sampledError(*sampleEW, *sampleW, *warmup, *instrs)
+	case *shardEW != "":
+		shardedError(*shardEW, *shards, *shardP, *warmup, *instrs)
 	case *stab:
 		stability(*quick, *parallel, *cacheDir)
 	case *sweep == "params":
@@ -199,6 +224,35 @@ func cachedRunner(dir string) (func(experiment.RunConfig) (experiment.RunResult,
 		if err := store.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "espsweep: cache index:", err)
 		}
+	}
+}
+
+// shardedError runs the sharded-mode validation harness (serial vs
+// sharded full runs on every architecture of the paper's evaluated set)
+// and prints the rows as a JSON array: relative errors on the headline
+// metrics, the retired-exactness flag, window counts, and both wall
+// clocks. scripts/bench.sh parses this output to build and check
+// BENCH_7.json.
+func shardedError(wl string, k, par int, warmup, instrs uint64) {
+	if k <= 0 {
+		k = 8
+	}
+	rc := experiment.DefaultRunConfig("esp-nuca", wl)
+	if warmup != 0 {
+		rc.Warmup = warmup
+	}
+	if instrs != 0 {
+		rc.Instructions = instrs
+	}
+	rc.ShardParallelism = par
+	rows, err := experiment.ShardedError(rc, k)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fail(err)
 	}
 }
 

@@ -194,6 +194,11 @@ type Substrate struct {
 	// on chip; value true = shared status (two or more accessor cores).
 	status lineMap[lineStatus]
 
+	// hintValid/hintPresent carry the sharded runner's requester-presence
+	// override for Upgrade; see SetPresenceHint.
+	hintValid   bool
+	hintPresent bool
+
 	// Counts and Latency accumulate the Figure 6 decomposition; index by
 	// Level. Latency is in cycles summed over accesses.
 	Counts  [NumLevels]uint64
@@ -297,6 +302,32 @@ func (s *Substrate) RecordL1Hit(lat sim.Cycle) {
 	s.Counts[LocalL1]++
 	s.Latency[LocalL1] += uint64(lat)
 }
+
+// RecordL1Hits accounts n local L1 hits at once. The sharded runner's
+// cores buffer their hit counts core-locally during the parallel phase
+// and flush them here at every window barrier; because the decomposition
+// is a pair of order-independent sums, the bulk flush yields the same
+// totals the serial engine's per-hit calls would.
+func (s *Substrate) RecordL1Hits(n uint64, lat sim.Cycle) {
+	s.Counts[LocalL1] += n
+	s.Latency[LocalL1] += n * uint64(lat)
+}
+
+// SetPresenceHint overrides — for the next Access only — what Upgrade
+// considers the requester's L1 presence for the accessed line. The
+// sharded runner fills a missing line into the requester's L1 at issue
+// time (the parallel phase) but routes the access itself through the
+// serialized barrier phase; by then L1.Has would report the post-fill
+// state, misclassifying every plain miss as an upgrade. The hint restores
+// the at-issue truth. ClearPresenceHint removes it; the serial engine
+// never sets one.
+func (s *Substrate) SetPresenceHint(present bool) {
+	s.hintValid = true
+	s.hintPresent = present
+}
+
+// ClearPresenceHint removes the presence hint set by SetPresenceHint.
+func (s *Substrate) ClearPresenceHint() { s.hintValid = false }
 
 // --- L2 residency management ---
 
@@ -469,7 +500,11 @@ func (s *Substrate) l1Intervention(at sim.Cycle, viaNode noc.NodeID, holder, req
 // in any GETX. It reports false when the requester's L1 does not hold the
 // line (a real miss).
 func (s *Substrate) Upgrade(at sim.Cycle, c int, line mem.Line) (Result, bool) {
-	if !s.L1.Has(c, line) {
+	held := s.L1.Has(c, line)
+	if s.hintValid {
+		held = s.hintPresent
+	}
+	if !held {
 		return Result{}, false
 	}
 	st := s.Dir.State(line)

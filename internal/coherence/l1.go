@@ -37,8 +37,19 @@ type L1s struct {
 	dir   *Directory
 	sets  int
 
-	// Hits/Misses per kind, aggregated over all cores.
+	// stats holds each core's hit/miss counters. Keeping them per core
+	// (padded to a cache line) lets the sharded engine's parallel phase
+	// count lookups without any shard ever writing another shard's
+	// memory; totals are summed on demand.
+	stats []l1CoreStats
+}
+
+// l1CoreStats is one core's L1 hit/miss counters, padded so adjacent
+// cores' counters never share a cache line (false sharing would serialize
+// the sharded engine's lookup-heavy parallel phase).
+type l1CoreStats struct {
 	DataHits, DataMisses, InstrHits, InstrMisses uint64
+	_                                            [4]uint64
 }
 
 // NewL1s builds per-core L1 pairs for n cores.
@@ -70,7 +81,25 @@ func NewL1s(n int, cfg L1Config, dir *Directory) (*L1s, error) {
 		l.data = append(l.data, d)
 		l.instr = append(l.instr, ib)
 	}
+	l.stats = make([]l1CoreStats, n)
 	return l, nil
+}
+
+// Totals returns the hit/miss counters summed over all cores.
+func (l *L1s) Totals() (dataHits, dataMisses, instrHits, instrMisses uint64) {
+	for i := range l.stats {
+		dataHits += l.stats[i].DataHits
+		dataMisses += l.stats[i].DataMisses
+		instrHits += l.stats[i].InstrHits
+		instrMisses += l.stats[i].InstrMisses
+	}
+	return
+}
+
+// HitMissTotals returns the combined (I+D) hit and miss totals.
+func (l *L1s) HitMissTotals() (hits, misses uint64) {
+	dh, dm, ih, im := l.Totals()
+	return dh + ih, dm + im
 }
 
 // Config returns the L1 configuration.
@@ -103,24 +132,30 @@ func (l *L1s) Lookup(c int, line mem.Line, write, ifetch bool) bool {
 	blk := b.Lookup(set, cache.LineQuery(line))
 	hit := blk != nil
 	if hit && write {
-		// Upgrade check: a write needs every token.
-		if l.dir.State(line).L1Tokens[c] != TokensPerLine {
+		// Upgrade check: a write needs every token. Peek rather than
+		// State: a line with no directory entry implicitly holds all its
+		// tokens at memory (zero in any L1), which fails the check the
+		// same way, and the read must not materialize an entry — under
+		// sharded execution lookups run concurrently across cores and
+		// only the serialized barrier phase may mutate the directory.
+		if st := l.dir.Peek(line); st == nil || st.L1Tokens[c] != TokensPerLine {
 			hit = false
 		} else {
 			blk.Dirty = true
 		}
 	}
+	st := &l.stats[c]
 	if ifetch {
 		if hit {
-			l.InstrHits++
+			st.InstrHits++
 		} else {
-			l.InstrMisses++
+			st.InstrMisses++
 		}
 	} else {
 		if hit {
-			l.DataHits++
+			st.DataHits++
 		} else {
-			l.DataMisses++
+			st.DataMisses++
 		}
 	}
 	return hit

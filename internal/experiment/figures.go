@@ -64,6 +64,11 @@ type Options struct {
 	// RunConfig.SampleWindows). Figures regenerate much faster; each
 	// underlying RunResult carries its error bound in Sampled.
 	SampleWindows int
+	// EngineShards, when positive, runs every simulation on the sharded
+	// engine with that many mesh-region shards (see
+	// RunConfig.EngineShards). Full-detail results on a different
+	// canonical key; mutually exclusive with SampleWindows.
+	EngineShards int
 	// Obs, when non-nil, captures per-run telemetry files (see ObsSpec).
 	Obs *ObsSpec
 	// RunFunc, when non-nil, substitutes Run for every independent
@@ -95,6 +100,7 @@ func (o Options) matrix(workloads []string, variants []Variant) Matrix {
 	m.System = o.System
 	m.Parallelism = o.Parallelism
 	m.SampleWindows = o.SampleWindows
+	m.EngineShards = o.EngineShards
 	m.Obs = o.Obs
 	m.RunFunc = o.RunFunc
 	return m

@@ -62,6 +62,25 @@ type RunConfig struct {
 	// — like Matrix.Parallelism — it is excluded from the canonical key.
 	SampleParallelism int `canon:"-"`
 
+	// EngineShards, when positive, switches Run to the sharded parallel
+	// engine (see sharded.go): the machine is partitioned by mesh region
+	// into that many shards whose cores execute concurrently between
+	// bounded-lag window barriers, while all shared-memory-system
+	// transactions are serviced at the barriers in deterministic
+	// timestamp order. Results are bit-identical at any ShardParallelism
+	// but NOT to the serial engine (the service's (cycle, shard, seq)
+	// order tie-breaks differently than the serial engine's slice
+	// interleaving), so — exactly like SampleWindows — the field
+	// participates in the canonical key: a sharded run never impersonates
+	// a legacy run in the result cache. The validation harness
+	// ShardedError bounds the residual full-vs-sharded skew.
+	EngineShards int
+	// ShardParallelism bounds the goroutines a sharded run's windows fan
+	// out over (0: all cores, 1: serial). Results are bit-identical at
+	// any setting (TestShardedParallelDeterminism), so it is excluded
+	// from the canonical key.
+	ShardParallelism int `canon:"-"`
+
 	// Metrics, when non-nil, receives this run's telemetry (see
 	// internal/obs): interval snapshots of per-bank hit rates and helping
 	// blocks, ESP-NUCA's nmax/EMA series, NoC and DRAM utilization, and
@@ -130,11 +149,20 @@ type RunResult struct {
 	// (RunConfig.SampleWindows > 0); nil for full runs. Consumers that
 	// must not act on an estimate can (and should) gate on it.
 	Sampled *SampleEstimate `json:"Sampled,omitempty"`
+
+	// Shard summarizes the sharded engine's execution when the result
+	// came from a sharded run (RunConfig.EngineShards > 0); nil
+	// otherwise. All fields are deterministic (no wall-clock times), so
+	// cached sharded results carry them unchanged.
+	Shard *ShardStats `json:"Shard,omitempty"`
 }
 
-// Run executes one simulation — full, or sampled when rc.SampleWindows
-// is positive.
+// Run executes one simulation — full, sampled when rc.SampleWindows is
+// positive, or space-parallel sharded when rc.EngineShards is positive.
 func Run(rc RunConfig) (RunResult, error) {
+	if rc.SampleWindows > 0 && rc.EngineShards > 0 {
+		return RunResult{}, fmt.Errorf("experiment: SampleWindows and EngineShards are mutually exclusive (sampled windows already parallelize across windows)")
+	}
 	if rc.SampleWindows > 0 {
 		return RunSampled(rc)
 	}
@@ -166,6 +194,9 @@ func RunOn(rc RunConfig, sys arch.System) (RunResult, error) {
 	bound := spec.Bind(wlLines, rc.System.L1ILines(), rc.Seed)
 	// Idle/service cores run until the measured cores finish; give them
 	// an effectively unbounded target.
+	if rc.EngineShards > 0 {
+		return runShardedBound(rc, sys, bound, ^uint64(0)>>1)
+	}
 	return runBound(rc, sys, bound, ^uint64(0)>>1, nil)
 }
 
@@ -235,6 +266,13 @@ func runBound(rc RunConfig, sys arch.System, bound *workload.Bound, idleTarget u
 		tr.Complete("measured", "phase", uint64(warmEnd), uint64(eng.Now()-warmEnd), 0)
 	}
 
+	return assembleResult(rc, sub, cores, measured, base, consumed)
+}
+
+// assembleResult reduces the post-run core and substrate state into a
+// RunResult; the serial and sharded runners share it so the metric
+// definitions cannot drift apart.
+func assembleResult(rc RunConfig, sub *arch.Substrate, cores []*cpu.Core, measured uint8, base statSnapshot, consumed *[8]uint64) (RunResult, error) {
 	res := RunResult{Arch: rc.Arch, Workload: rc.Workload, Seed: rc.Seed}
 	var retired uint64
 	var ipcSum float64
@@ -297,12 +335,13 @@ type statSnapshot struct {
 }
 
 func snapshot(s *arch.Substrate) statSnapshot {
+	hits, misses := s.L1.HitMissTotals()
 	return statSnapshot{
 		counts:    s.Counts,
 		latency:   s.Latency,
 		dramReads: s.DRAM.Reads, dramWrites: s.DRAM.Writes,
-		l1Hits:   s.L1.DataHits + s.L1.InstrHits,
-		l1Misses: s.L1.DataMisses + s.L1.InstrMisses,
+		l1Hits:   hits,
+		l1Misses: misses,
 	}
 }
 
@@ -320,8 +359,9 @@ func delta(s *arch.Substrate, b statSnapshot) statDelta {
 	}
 	d.dramReads = s.DRAM.Reads - b.dramReads
 	d.dramWrites = s.DRAM.Writes - b.dramWrites
-	misses := s.L1.DataMisses + s.L1.InstrMisses - b.l1Misses
-	hits := s.L1.DataHits + s.L1.InstrHits - b.l1Hits
+	curHits, curMisses := s.L1.HitMissTotals()
+	misses := curMisses - b.l1Misses
+	hits := curHits - b.l1Hits
 	d.l1Misses = misses
 	d.l1Total = misses + hits
 	return d

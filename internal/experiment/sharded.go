@@ -1,0 +1,449 @@
+package experiment
+
+// Sharded execution: one full-detail simulation spread over all host
+// cores. The machine is partitioned by mesh region into K shards; each
+// shard owns a contiguous group of mesh columns and the cores attached to
+// them, with its own sim.Engine-local event heap (sim.ShardedEngine).
+// Execution alternates between two phases:
+//
+//   - Parallel phase (one goroutine per shard, bounded-lag windows of
+//     shardWindowCycles): cores execute their core-private work — stream
+//     generation, L1 lookups and fills, retirement bookkeeping. Every
+//     operation that touches shared machine state (an L2/mesh/DRAM/
+//     directory transaction) is enqueued on the core's MemPort instead of
+//     being resolved synchronously; a core that cannot proceed without
+//     the completion cycle suspends.
+//
+//   - Barrier phase (serial): the outstanding requests of all shards are
+//     merged in (cycle, srcShard, srcSeq) order and serviced by the
+//     unmodified synchronous architecture code (sys.Access/WriteBack);
+//     completion cycles flow back through Core.Resolve and suspended
+//     cores are resumed. Because the merge order is a pure function of
+//     the requests — never of goroutine scheduling — the whole run is
+//     bit-identical at any ShardParallelism (asserted under -race by
+//     TestShardedParallelDeterminism).
+//
+// Fidelity. The window width equals the serial engine's maxSliceSkew, so
+// a sharded run grants cores exactly the cross-core timestamp skew the
+// serial engine already tolerates. What does change is tie-breaking: the
+// barrier service orders transactions by timestamp, while the serial
+// engine orders them by slice interleaving, so shared-resource occupancy
+// and replacement state can diverge slightly. That is why EngineShards
+// participates in the canonical key and why ShardedError exists: it
+// quantifies the full-vs-sharded skew across all seven architectures
+// (retired instruction counts must match exactly; timing metrics agree
+// within the committed BENCH_7.json bounds).
+//
+// Deadlock freedom. A suspended core always holds at least one
+// unresolved request (backpressureP suspends only when pending work
+// exists); the barrier phase resolves every queued request and resumes
+// every suspended core, so each window either executes events, services
+// requests, or proves the run is complete.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"espnuca/internal/arch"
+	"espnuca/internal/cpu"
+	"espnuca/internal/mem"
+	"espnuca/internal/obs"
+	"espnuca/internal/sim"
+	"espnuca/internal/workload"
+)
+
+// shardWindowCycles is the bounded-lag window width: the same 64-cycle
+// skew budget cpu.maxSliceSkew grants a core within one scheduler slice.
+// The mesh's minimum cross-region latency (HopLatency, 5 cycles) would be
+// the classic PDES lookahead floor for direct shard-to-shard messages;
+// the machine runner routes all cross-shard interaction through the
+// barrier service instead, which is timestamp-ordered regardless of
+// window width, so the width is a fidelity/overhead knob rather than a
+// correctness bound — and matching maxSliceSkew keeps the sharded run's
+// cross-core skew identical to the serial engine's.
+const shardWindowCycles = 64
+
+// PlanShards is the partition planner: it assigns each core to one of k
+// shards by mesh geometry. Core c sits on node c of the cols x rows
+// router grid (node index row-major); nodes are ordered column-major so
+// each shard owns a contiguous vertical stripe of the mesh — k=2 splits
+// a 4x2 mesh into column halves, k=4 gives one column per shard, k=8 one
+// node per shard. k is clamped to [1, cores]. The returned slice maps
+// core -> shard.
+func PlanShards(cols, rows, cores, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > cores {
+		k = cores
+	}
+	order := make([]int, 0, cores)
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			if n := y*cols + x; n < cores {
+				order = append(order, n)
+			}
+		}
+	}
+	// Cores beyond the router grid (configs with more cores than nodes
+	// wrap onto it) keep the contiguous-range property.
+	for n := cols * rows; n < cores; n++ {
+		order = append(order, n)
+	}
+	shardOf := make([]int, cores)
+	for i, c := range order {
+		shardOf[c] = i * k / len(order)
+	}
+	return shardOf
+}
+
+// ShardStats summarizes a sharded run for RunResult.Shard. Every field
+// is deterministic for a fixed (RunConfig, EngineShards): worker counts
+// and wall clocks never leak in, so cached results stay byte-identical.
+type ShardStats struct {
+	// Shards is the effective shard count (EngineShards clamped to the
+	// core count).
+	Shards int
+	// Windows counts executed bounded-lag windows.
+	Windows uint64
+	// MeanWindowCycles is the mean window width in cycles.
+	MeanWindowCycles float64
+	// Requests counts memory-system transactions serviced at barriers
+	// (the machine's cross-shard message count).
+	Requests uint64
+	// MeanRequestsPerWindow is Requests/Windows.
+	MeanRequestsPerWindow float64
+}
+
+// shardReq is one memory-system transaction queued during the parallel
+// phase, serviced at the next barrier.
+type shardReq struct {
+	at      sim.Cycle
+	core    int
+	line    mem.Line
+	write   bool
+	present bool // requester's L1 presence at issue (pre-fill truth)
+	demand  bool // demand miss (needs Resolve) vs fire-and-forget prefetch
+	wbValid bool
+	wbDirty bool
+	wbLine  mem.Line
+}
+
+// mergedRef addresses one request in the per-shard queues during the
+// barrier merge.
+type mergedRef struct {
+	shard, idx int
+}
+
+// shardedRun carries the runner state shared by the ports and the
+// barrier hook.
+type shardedRun struct {
+	se    *sim.ShardedEngine
+	sys   arch.System
+	cores []*cpu.Core
+	reqs  [][]shardReq
+	refs  []mergedRef
+
+	// requests counts barrier-serviced transactions over the run.
+	requests uint64
+
+	// Telemetry (nil when the run is not instrumented).
+	reg           *obs.Registry
+	interval      sim.Cycle
+	nextTick      sim.Cycle
+	cWindows      *obs.Counter
+	cRequests     *obs.Counter
+	sWidth        *obs.Series
+	sReqPerWindow *obs.Series
+	gWaitNS       []*obs.Gauge
+	lastWindows   uint64
+	lastWidthSum  sim.Cycle
+}
+
+// corePort adapts one core's memory traffic onto its shard's request
+// queue; it is the cpu.MemPort the parallel phase talks to.
+type corePort struct {
+	run   *shardedRun
+	shard int
+	core  int
+}
+
+func (p *corePort) Access(at sim.Cycle, line mem.Line, write, present, demand bool) uint64 {
+	q := &p.run.reqs[p.shard]
+	*q = append(*q, shardReq{
+		at: at, core: p.core, line: line,
+		write: write, present: present, demand: demand,
+	})
+	return uint64(len(*q) - 1)
+}
+
+func (p *corePort) WriteBackAfter(ticket uint64, line mem.Line, dirty bool) {
+	rq := &p.run.reqs[p.shard][ticket]
+	rq.wbValid, rq.wbLine, rq.wbDirty = true, line, dirty
+}
+
+// barrier is the serial service phase, invoked by the sharded engine at
+// every window barrier with all shards quiescent.
+func (r *shardedRun) barrier() {
+	// 1. Flush the parallel phase's buffered L1-hit counts into the
+	// decomposition before anything (stop conditions, snapshots,
+	// telemetry) reads the substrate counters. The flush is a bulk add
+	// of order-independent sums, so totals match the serial engine's.
+	for _, c := range r.cores {
+		c.FlushL1Hits()
+	}
+
+	// 2. Merge all queued requests in (cycle, srcShard, srcSeq) order —
+	// the deterministic global service order — and run each through the
+	// unmodified synchronous architecture.
+	refs := r.refs[:0]
+	for s := range r.reqs {
+		for i := range r.reqs[s] {
+			refs = append(refs, mergedRef{shard: s, idx: i})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		ra, rb := &r.reqs[refs[a].shard][refs[a].idx], &r.reqs[refs[b].shard][refs[b].idx]
+		if ra.at != rb.at {
+			return ra.at < rb.at
+		}
+		if refs[a].shard != refs[b].shard {
+			return refs[a].shard < refs[b].shard
+		}
+		return refs[a].idx < refs[b].idx
+	})
+	sub := r.sys.Sub()
+	for _, ref := range refs {
+		rq := &r.reqs[ref.shard][ref.idx]
+		// The request's L1 fill already happened at issue; the hint
+		// restores the at-issue presence for upgrade classification.
+		sub.SetPresenceHint(rq.present)
+		res := r.sys.Access(rq.at, rq.core, rq.line, rq.write)
+		sub.ClearPresenceHint()
+		if rq.wbValid {
+			// The displaced line's write-back follows its access
+			// immediately, at the access's completion cycle — the same
+			// call order and timestamp the serial engine produces.
+			r.sys.WriteBack(res.Done, rq.core, rq.wbLine, rq.wbDirty)
+		}
+		if rq.demand {
+			r.cores[rq.core].Resolve(uint64(ref.idx), res.Done)
+		}
+	}
+	r.requests += uint64(len(refs))
+	for s := range r.reqs {
+		r.reqs[s] = r.reqs[s][:0]
+	}
+	r.refs = refs[:0]
+
+	// 3. Resume suspended cores in core order (deterministic; each now
+	// has its full miss set resolved).
+	for _, c := range r.cores {
+		c.ScheduleResume()
+	}
+
+	// 4. Telemetry.
+	if r.reg != nil {
+		r.tickObs(uint64(len(refs)))
+	}
+}
+
+// tickObs updates the sharded-engine telemetry at a barrier and closes
+// any sampling intervals the run has crossed.
+func (r *shardedRun) tickObs(nreq uint64) {
+	now := uint64(r.se.Now())
+	r.cWindows.Add(r.se.Windows - r.lastWindows)
+	r.cRequests.Add(nreq)
+	if dw := r.se.Windows - r.lastWindows; dw > 0 {
+		r.sWidth.Append(now, float64(r.se.WindowCycles-r.lastWidthSum)/float64(dw))
+		r.sReqPerWindow.Append(now, float64(nreq)/float64(dw))
+	}
+	r.lastWindows = r.se.Windows
+	r.lastWidthSum = r.se.WindowCycles
+	for i, g := range r.gWaitNS {
+		g.Set(float64(r.se.Shard(i).BarrierWaitNS()))
+	}
+	for sim.Cycle(now) >= r.nextTick {
+		r.reg.Tick(uint64(r.nextTick))
+		r.nextTick += r.interval
+	}
+}
+
+// instrumentSharded wires a registry into a sharded run: the substrate
+// and architecture probes exactly as Instrument does, plus the sharded
+// engine's own counters — windows executed, mean window width, barrier
+// requests (cross-shard messages), per-shard barrier wait. The engine
+// dispatch probe is not attached: shard windows execute concurrently and
+// the per-event probe is the serial engine's instrument. All registry
+// writes happen in the (serial) barrier phase, so instrumented sharded
+// runs stay bit-identical and race-free.
+func instrumentSharded(r *shardedRun, reg *obs.Registry, interval sim.Cycle) {
+	if interval == 0 {
+		interval = DefaultMetricsInterval
+	}
+	r.sys.Sub().AttachObs(reg)
+	if o, ok := r.sys.(arch.Observable); ok {
+		o.AttachObs(reg)
+	}
+	r.reg = reg
+	r.interval = interval
+	r.nextTick = interval
+	r.cWindows = reg.Counter("shard.windows")
+	r.cRequests = reg.Counter("shard.requests")
+	r.sWidth = reg.Series("shard.window_width")
+	r.sReqPerWindow = reg.Series("shard.requests_per_window")
+	for i := 0; i < r.se.Shards(); i++ {
+		r.gWaitNS = append(r.gWaitNS, reg.Gauge(fmt.Sprintf("shard%d.barrier_wait_ns", i)))
+	}
+}
+
+// runShardedBound is the sharded analogue of runBound: same phases, same
+// stop conditions, same result assembly, but cores run on shard-local
+// engines with ported memory access.
+func runShardedBound(rc RunConfig, sys arch.System, bound *workload.Bound, idleTarget uint64) (RunResult, error) {
+	k := rc.EngineShards
+	if k < 1 {
+		return RunResult{}, fmt.Errorf("experiment: sharded run needs EngineShards >= 1, got %d", k)
+	}
+	if k > rc.System.Cores {
+		k = rc.System.Cores
+	}
+	par := rc.ShardParallelism
+	if par <= 0 {
+		par = k // one goroutine per shard; GOMAXPROCS schedules them
+	}
+	shardOf := PlanShards(rc.System.NoC.Cols, rc.System.NoC.Rows, rc.System.Cores, k)
+	se := sim.NewSharded(k, shardWindowCycles)
+	r := &shardedRun{se: se, sys: sys, reqs: make([][]shardReq, k)}
+
+	cores := make([]*cpu.Core, rc.System.Cores)
+	measured := bound.Active
+	for c := 0; c < rc.System.Cores; c++ {
+		target := rc.Warmup + rc.Instructions
+		if measured&(1<<uint(c)) == 0 {
+			target = idleTarget
+		}
+		sh := se.Shard(shardOf[c])
+		cores[c] = cpu.New(c, rc.Core, sh.Engine(), sys, bound.Streams[c], target)
+		cores[c].SetWarmup(rc.Warmup)
+		cores[c].SetPort(&corePort{run: r, shard: shardOf[c], core: c})
+		cores[c].Start()
+	}
+	r.cores = cores
+	se.SetBarrier(r.barrier)
+	if rc.Metrics != nil {
+		instrumentSharded(r, rc.Metrics, rc.MetricsInterval)
+	}
+
+	// Phase 1: warmup, stop condition evaluated at barriers.
+	sub := sys.Sub()
+	if rc.Warmup > 0 {
+		warmDone := func() bool {
+			for c := 0; c < rc.System.Cores; c++ {
+				if measured&(1<<uint(c)) != 0 && !cores[c].Warmed() {
+					return false
+				}
+			}
+			return true
+		}
+		se.Run(rc.MaxCycles, warmDone, par)
+	}
+	warmEnd := se.Now()
+	base := snapshot(sub)
+
+	// Phase 2: measured execution.
+	allDone := func() bool {
+		for c := 0; c < rc.System.Cores; c++ {
+			if measured&(1<<uint(c)) != 0 && !cores[c].Done {
+				return false
+			}
+		}
+		return true
+	}
+	se.Run(rc.MaxCycles, allDone, par)
+
+	if rc.Metrics != nil {
+		rc.Metrics.Tick(uint64(se.Now()))
+		tr := rc.Metrics.Trace()
+		tr.Complete("warmup", "phase", 0, uint64(warmEnd), 0)
+		tr.Complete("measured", "phase", uint64(warmEnd), uint64(se.Now()-warmEnd), 0)
+	}
+
+	res, err := assembleResult(rc, sub, cores, measured, base, nil)
+	if err != nil {
+		return res, err
+	}
+	st := &ShardStats{Shards: k, Windows: se.Windows, Requests: r.requests}
+	if se.Windows > 0 {
+		st.MeanWindowCycles = float64(se.WindowCycles) / float64(se.Windows)
+		st.MeanRequestsPerWindow = float64(r.requests) / float64(se.Windows)
+	}
+	res.Shard = st
+	return res, nil
+}
+
+// ShardValidationArchs is the architecture set the sharded-mode
+// validation harness compares against serial full runs — the paper's
+// seven evaluated L2 organizations.
+func ShardValidationArchs() []string { return SampleValidationArchs() }
+
+// ShardedErrorRow reports serial-vs-sharded agreement for one
+// architecture: relative errors on the headline metrics, the exactness
+// of the retired-instruction count (which must always hold — both modes
+// run every measured core to the same target), and the wall clocks.
+type ShardedErrorRow struct {
+	Arch string
+	// Relative errors |sharded-serial|/serial.
+	Throughput      float64
+	AvgAccessTime   float64
+	OffChipAccesses float64
+	// RetiredExact reports whether the sharded run retired exactly the
+	// serial run's instruction count.
+	RetiredExact bool
+	// Windows is the sharded run's bounded-lag window count.
+	Windows uint64
+
+	FullSeconds    float64
+	ShardedSeconds float64
+}
+
+// ShardedError is the validation harness: for every architecture in
+// ShardValidationArchs it runs rc once on the serial engine and once
+// sharded k ways, and reports relative errors and wall clocks. rc.Arch
+// and rc.EngineShards are overridden per row; rc.ShardParallelism is
+// honored for the sharded runs (0 = one goroutine per shard).
+func ShardedError(rc RunConfig, k int) ([]ShardedErrorRow, error) {
+	rows := make([]ShardedErrorRow, 0, len(ShardValidationArchs()))
+	for _, a := range ShardValidationArchs() {
+		src := rc
+		src.Arch = a
+		src.EngineShards = 0
+		t0 := time.Now()
+		full, err := Run(src)
+		if err != nil {
+			return nil, fmt.Errorf("serial %s: %w", a, err)
+		}
+		fullDur := time.Since(t0)
+
+		src.EngineShards = k
+		t0 = time.Now()
+		shd, err := Run(src)
+		if err != nil {
+			return nil, fmt.Errorf("sharded %s: %w", a, err)
+		}
+		shdDur := time.Since(t0)
+
+		rows = append(rows, ShardedErrorRow{
+			Arch:            a,
+			Throughput:      relErr(shd.Throughput, full.Throughput),
+			AvgAccessTime:   relErr(shd.AvgAccessTime, full.AvgAccessTime),
+			OffChipAccesses: relErr(float64(shd.OffChipAccesses), float64(full.OffChipAccesses)),
+			RetiredExact:    shd.Retired == full.Retired,
+			Windows:         shd.Shard.Windows,
+			FullSeconds:     fullDur.Seconds(),
+			ShardedSeconds:  shdDur.Seconds(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"espnuca/internal/obs"
+)
+
+// shardedGateMaxRelErr is the committed fidelity bound CI holds sharded
+// execution to: the Throughput relative error versus a serial full run,
+// for every architecture of the paper's evaluated set (see BENCH_7.json
+// for the full-config measurements backing it).
+const shardedGateMaxRelErr = 0.02
+
+// shardedQuickRC is a fast sharded configuration for unit tests.
+func shardedQuickRC(archName, wl string, k int) RunConfig {
+	rc := DefaultRunConfig(archName, wl)
+	rc.Warmup = 12_000
+	rc.Instructions = 8_000
+	rc.EngineShards = k
+	rc.ShardParallelism = 1
+	return rc
+}
+
+func TestPlanShards(t *testing.T) {
+	// 4x2 mesh, 8 cores: k=2 must split by column halves — contiguous
+	// vertical stripes, each shard owning both rows of its columns.
+	got := PlanShards(4, 2, 8, 2)
+	want := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("k=2: shardOf = %v, want %v", got, want)
+	}
+	// k=1 degenerates to one shard; k=cores gives one core per shard;
+	// k beyond the core count clamps.
+	if got := PlanShards(4, 2, 8, 1); !reflect.DeepEqual(got, []int{0, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Errorf("k=1: shardOf = %v", got)
+	}
+	got = PlanShards(4, 2, 8, 8)
+	seen := map[int]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Fatalf("k=8: shard %d assigned twice in %v", s, got)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("k=8: %d distinct shards, want 8 (%v)", len(seen), got)
+	}
+	if got := PlanShards(4, 2, 8, 16); !reflect.DeepEqual(got, PlanShards(4, 2, 8, 8)) {
+		t.Errorf("k>cores did not clamp: %v", got)
+	}
+	// Fewer cores than nodes: assignments stay in range and use all k.
+	got = PlanShards(4, 2, 4, 2)
+	for c, s := range got {
+		if s < 0 || s >= 2 {
+			t.Errorf("4-core k=2: core %d -> shard %d out of range", c, s)
+		}
+	}
+}
+
+// TestShardedRunMatchesFull pins the sharded engine's contract with the
+// serial one: the retired-instruction count is exactly equal (both modes
+// run every measured core to the same target), the headline metrics agree
+// within the committed gate, and RunResult.Shard carries the window
+// accounting.
+func TestShardedRunMatchesFull(t *testing.T) {
+	for _, wl := range []string{"apache", "gcc-4"} { // all-core and half-rate (idle cores)
+		rc := shardedQuickRC("esp-nuca", wl, 2)
+		shd, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shd.Shard == nil {
+			t.Fatal("sharded run returned nil RunResult.Shard")
+		}
+		if shd.Shard.Shards != 2 || shd.Shard.Windows == 0 || shd.Shard.Requests == 0 {
+			t.Errorf("%s: implausible shard stats %+v", wl, shd.Shard)
+		}
+
+		frc := rc
+		frc.EngineShards = 0
+		full, err := Run(frc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Shard != nil {
+			t.Error("serial run carries shard stats")
+		}
+		if shd.Retired != full.Retired {
+			t.Errorf("%s: sharded Retired = %d, serial = %d (must be exact)",
+				wl, shd.Retired, full.Retired)
+		}
+		if e := relErr(shd.Throughput, full.Throughput); e > shardedGateMaxRelErr {
+			t.Errorf("%s: Throughput relative error %.4f exceeds the gate %.2f (sharded %g, serial %g)",
+				wl, e, shardedGateMaxRelErr, shd.Throughput, full.Throughput)
+		}
+	}
+}
+
+// TestShardedParallelDeterminism is the concurrency contract of sharded
+// execution: one simulation is bit-identical whether its shards run on
+// one goroutine or fan out over workers. It is the -race smoke test for
+// the space-parallel engine.
+func TestShardedParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded runs")
+	}
+	for _, wl := range []string{"apache", "gcc-4"} { // all-core and half-rate (idle cores)
+		rc := shardedQuickRC("esp-nuca", wl, 4)
+		base, err := Run(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 3, 4} {
+			rc.ShardParallelism = p
+			got, err := Run(rc)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", wl, p, err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("%s: results at ShardParallelism=%d differ from serial:\n got  %+v\n want %+v",
+					wl, p, got, base)
+			}
+		}
+	}
+}
+
+// TestShardedMetricsDontPerturb: attaching a telemetry registry must not
+// change a sharded run's results (all registry writes happen in the
+// serial barrier phase), and the shard counters must be populated.
+func TestShardedMetricsDontPerturb(t *testing.T) {
+	rc := shardedQuickRC("esp-nuca", "apache", 2)
+	base, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rc.Metrics = reg
+	got, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Metrics = nil // registries are pointers; compare the rest
+	got2 := got
+	if !reflect.DeepEqual(got2, base) {
+		t.Errorf("instrumented sharded run differs from bare run:\n got  %+v\n want %+v", got2, base)
+	}
+	counters, _, series := reg.Snapshot()
+	if got := counters["shard.windows"]; got != base.Shard.Windows {
+		t.Errorf("shard.windows counter = %d, want %d", got, base.Shard.Windows)
+	}
+	if got := counters["shard.requests"]; got != base.Shard.Requests {
+		t.Errorf("shard.requests counter = %d, want %d", got, base.Shard.Requests)
+	}
+	if _, ok := series["shard.window_width"]; !ok {
+		t.Error("shard.window_width series missing")
+	}
+}
+
+func TestShardedRejectsBadConfigs(t *testing.T) {
+	rc := shardedQuickRC("esp-nuca", "apache", 2)
+	rc.SampleWindows = 2
+	if _, err := Run(rc); err == nil || !strings.Contains(err.Error(), "EngineShards") {
+		t.Errorf("SampleWindows+EngineShards: err = %v, want rejection", err)
+	}
+	rc = shardedQuickRC("esp-nuca", "no-such-workload", 2)
+	if _, err := Run(rc); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestShardedErrorGate is the CI fidelity gate: at the committed
+// BENCH_7.json configuration of the largest catalog workload, the sharded
+// run's headline metrics must stay within shardedGateMaxRelErr of the
+// serial full run — and the retired count exactly equal — for every
+// architecture of the paper's evaluated set (scripts/bench.sh shard
+// re-checks the same bounds plus the wall-clock budget).
+func TestShardedErrorGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-vs-sharded validation runs")
+	}
+	rc := DefaultRunConfig("esp-nuca", "FT")
+	rc.Warmup = 80_000
+	rc.Instructions = 640_000
+	rows, err := ShardedError(rc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ShardValidationArchs()) {
+		t.Fatalf("%d rows, want one per validation architecture", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-9s thr-err %.2f%%  aat-err %.2f%%  off-err %.2f%%  windows %d  serial %.2fs  sharded %.2fs",
+			r.Arch, r.Throughput*100, r.AvgAccessTime*100, r.OffChipAccesses*100,
+			r.Windows, r.FullSeconds, r.ShardedSeconds)
+		if !r.RetiredExact {
+			t.Errorf("%s: sharded retired count differs from serial", r.Arch)
+		}
+		if r.Throughput > shardedGateMaxRelErr {
+			t.Errorf("%s: Throughput relative error %.4f exceeds the committed gate %.2f",
+				r.Arch, r.Throughput, shardedGateMaxRelErr)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package resultcache
+
+import "testing"
+
+// TestShardedResultsCachedDistinctly proves a sharded run is never
+// substituted for a serial full run by the cache: the two configurations
+// hash to different keys, and a sharded result round-trips through the
+// disk tier with its window accounting (RunResult.Shard) intact.
+func TestShardedResultsCachedDistinctly(t *testing.T) {
+	serial := quickRC("esp-nuca", "apache", 1)
+	sharded := serial
+	sharded.EngineShards = 2
+	sharded.ShardParallelism = 1
+	if mustKey(t, serial) == mustKey(t, sharded) {
+		t.Fatal("serial and sharded configurations share a canonical key")
+	}
+	// ShardParallelism is an execution knob, not a configuration: it must
+	// not fragment the cache.
+	alt := sharded
+	alt.ShardParallelism = 8
+	if mustKey(t, alt) != mustKey(t, sharded) {
+		t.Fatal("ShardParallelism changed the canonical key")
+	}
+
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := s.Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Shard == nil {
+		t.Fatal("sharded run through the cache lost its window accounting")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the hit must come from the JSON object on disk.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	reloaded, err := s2.Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats(); got.Runs != 0 || got.DiskHits != 1 {
+		t.Fatalf("expected a pure disk hit, got %+v", got)
+	}
+	if reloaded.Shard == nil {
+		t.Fatal("reloaded sharded result lost its window accounting")
+	}
+	if *reloaded.Shard != *stored.Shard {
+		t.Fatalf("window accounting drifted across the disk round trip:\n got  %+v\n want %+v",
+			*reloaded.Shard, *stored.Shard)
+	}
+
+	// The serial configuration must still simulate (its key saw no store).
+	if _, err := s2.Run(serial); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats(); got.Runs != 1 {
+		t.Fatalf("serial run after sharded store: Runs = %d, want a fresh simulation", got.Runs)
+	}
+}

@@ -47,6 +47,12 @@ type RunSpec struct {
 	// result carries its confidence bounds in Sampled and is cached under
 	// a distinct key from the full run.
 	SampleWindows int `json:"sample_windows,omitempty"`
+	// EngineShards, when positive, runs the job on the sharded parallel
+	// engine with that many mesh-region shards (see
+	// experiment.RunConfig.EngineShards). The result carries its window
+	// accounting in Shard and is cached under a distinct key from the
+	// serial run. Mutually exclusive with sample_windows.
+	EngineShards int `json:"engine_shards,omitempty"`
 }
 
 // Config lowers the spec to a RunConfig, validating names eagerly so a
@@ -81,6 +87,13 @@ func (sp RunSpec) Config() (experiment.RunConfig, error) {
 		return experiment.RunConfig{}, fmt.Errorf("service: sample_windows %d is negative", sp.SampleWindows)
 	}
 	rc.SampleWindows = sp.SampleWindows
+	if sp.EngineShards < 0 {
+		return experiment.RunConfig{}, fmt.Errorf("service: engine_shards %d is negative", sp.EngineShards)
+	}
+	if sp.EngineShards > 0 && sp.SampleWindows > 0 {
+		return experiment.RunConfig{}, fmt.Errorf("service: engine_shards and sample_windows are mutually exclusive")
+	}
+	rc.EngineShards = sp.EngineShards
 	return rc, nil
 }
 
@@ -111,6 +124,10 @@ type MatrixSpec struct {
 	// SampleWindows, when positive, executes every cell in sampled mode
 	// with that many measurement windows per cell.
 	SampleWindows int `json:"sample_windows,omitempty"`
+	// EngineShards, when positive, executes every cell on the sharded
+	// parallel engine with that many mesh-region shards per cell.
+	// Mutually exclusive with sample_windows.
+	EngineShards int `json:"engine_shards,omitempty"`
 }
 
 // Matrix lowers the spec, validating workloads and variant names.
@@ -163,6 +180,13 @@ func (sp MatrixSpec) Matrix() (experiment.Matrix, error) {
 		return experiment.Matrix{}, fmt.Errorf("service: sample_windows %d is negative", sp.SampleWindows)
 	}
 	m.SampleWindows = sp.SampleWindows
+	if sp.EngineShards < 0 {
+		return experiment.Matrix{}, fmt.Errorf("service: engine_shards %d is negative", sp.EngineShards)
+	}
+	if sp.EngineShards > 0 && sp.SampleWindows > 0 {
+		return experiment.Matrix{}, fmt.Errorf("service: engine_shards and sample_windows are mutually exclusive")
+	}
+	m.EngineShards = sp.EngineShards
 	return m, nil
 }
 

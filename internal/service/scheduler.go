@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"espnuca/internal/experiment"
 	"espnuca/internal/obs"
 )
 
@@ -123,6 +124,8 @@ type Scheduler struct {
 	cRejected     *obs.Counter
 	gQueueDepth   *obs.Gauge
 	gRunning      *obs.Gauge
+	cShardWindows *obs.Counter
+	cShardReqs    *obs.Counter
 	runningGauges int
 }
 
@@ -155,6 +158,9 @@ func New(cfg Config) (*Scheduler, error) {
 		cRejected:   reg.Counter("service.jobs_rejected"),
 		gQueueDepth: reg.Gauge("service.queue_depth"),
 		gRunning:    reg.Gauge("service.jobs_running"),
+
+		cShardWindows: reg.Counter("service.shard_windows"),
+		cShardReqs:    reg.Counter("service.shard_requests"),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < cfg.Workers; w++ {
@@ -430,11 +436,42 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// shardTotals sums the sharded-engine window accounting across a
+// completed payload's runs (zero for serial and sampled work), so
+// /metricsz exposes how much sharded simulation the daemon has served.
+func shardTotals(payload any) (windows, requests uint64) {
+	add := func(r experiment.RunResult) {
+		if r.Shard != nil {
+			windows += r.Shard.Windows
+			requests += r.Shard.Requests
+		}
+	}
+	switch v := payload.(type) {
+	case experiment.RunResult:
+		add(v)
+	case experiment.Results:
+		for _, wls := range v {
+			for _, cell := range wls {
+				for _, r := range cell.Runs {
+					add(r)
+				}
+			}
+		}
+	}
+	return windows, requests
+}
+
 // finalizeLocked moves j to a terminal state and wakes watchers.
 // Caller holds s.mu.
 func (s *Scheduler) finalizeLocked(j *job, state State, payload any, err error) {
 	if j.state.Terminal() {
 		return
+	}
+	if state == StateSucceeded {
+		if w, r := shardTotals(payload); w > 0 {
+			s.cShardWindows.Add(w)
+			s.cShardReqs.Add(r)
+		}
 	}
 	j.state = state
 	j.result = payload

@@ -1,0 +1,285 @@
+// Sharded execution: a conservative (bounded-lag) parallel discrete-event
+// engine. The simulated machine is partitioned into K shards, each owning
+// its own Engine-local event heap; shards advance in lock-step windows
+// bounded by a shared horizon
+//
+//	H = min(earliest pending event across shards) + lookahead
+//
+// and may run their windows on separate goroutines. Within a window a
+// shard only touches shard-local state, so windows are embarrassingly
+// parallel; everything that crosses a shard boundary travels as a
+// cross-shard message enqueued during the window and delivered at the
+// barrier.
+//
+// Determinism. Cross-shard messages are merged in (cycle, srcShard,
+// srcSeq) order before being pushed onto their destination heaps, so the
+// destination's (at, seq) dispatch order — and therefore the entire
+// simulation — is a pure function of the event graph and the shard count.
+// The worker count only decides which OS thread runs a window; results are
+// bit-identical whether windows execute serially or on K goroutines.
+//
+// Deadlock freedom. Every window makes progress: the horizon always
+// covers the globally earliest pending event (lookahead >= 1), so at
+// least one shard dispatches at least one event per window, and the
+// barrier hook runs after every window. The loop exits only when no shard
+// has pending events after a barrier, i.e. when the hook itself stopped
+// producing work.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// xmsg is one cross-shard message: an event bound for another shard's
+// heap, stamped with its source identity so barrier delivery is globally
+// ordered.
+type xmsg struct {
+	at     Cycle
+	src    int
+	dst    int
+	srcSeq uint64
+	call   Event
+}
+
+// Shard is one partition of a sharded simulation: a private event heap
+// plus outgoing cross-shard message queues. All Shard methods except the
+// stats accessors must only be called from the goroutine currently
+// executing the shard's window (or from the barrier hook, which runs with
+// every shard quiescent).
+type Shard struct {
+	id    int
+	se    *ShardedEngine
+	eng   *Engine
+	out   []xmsg
+	sends uint64
+
+	// lastExecNS is the host time this shard's most recent window took;
+	// execNS and waitNS accumulate execution and barrier-wait time over
+	// the run (waitNS is meaningful only under parallel execution, where
+	// a fast shard idles until the window's slowest shard finishes).
+	lastExecNS int64
+	execNS     int64
+	waitNS     int64
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the shard's local event engine. Components owned by the
+// shard schedule their events here exactly as they would on a serial
+// engine.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// Send schedules ev on shard dst at absolute cycle at. Cross-shard sends
+// must respect the lookahead: at must be at least the sender's current
+// cycle plus the engine's lookahead, otherwise the event could land
+// inside the very window being executed, where the destination may
+// already have advanced past it. A same-shard send degenerates to a local
+// At.
+func (s *Shard) Send(dst int, at Cycle, ev Event) {
+	if dst < 0 || dst >= len(s.se.shards) {
+		panic(fmt.Sprintf("sim: Send to unknown shard %d (have %d)", dst, len(s.se.shards)))
+	}
+	if dst == s.id {
+		s.eng.At(at, ev)
+		return
+	}
+	if at < s.eng.Now()+s.se.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send at cycle %d violates lookahead %d (sender at %d)",
+			at, s.se.lookahead, s.eng.Now()))
+	}
+	s.sends++
+	s.out = append(s.out, xmsg{at: at, src: s.id, dst: dst, srcSeq: s.sends, call: ev})
+}
+
+// ExecNS returns the accumulated host nanoseconds this shard spent
+// executing its windows.
+func (s *Shard) ExecNS() int64 { return s.execNS }
+
+// BarrierWaitNS returns the accumulated host nanoseconds this shard spent
+// idle at window barriers waiting for slower shards (zero under serial
+// execution).
+func (s *Shard) BarrierWaitNS() int64 { return s.waitNS }
+
+// ShardedEngine coordinates K shard-local engines through bounded-lag
+// windows. The zero value is not ready; call NewSharded.
+type ShardedEngine struct {
+	shards    []*Shard
+	lookahead Cycle
+	barrier   func()
+	now       Cycle
+	batch     []xmsg
+
+	// Windows counts executed bounded-lag windows; WindowCycles sums
+	// their widths (mean width = WindowCycles/Windows); CrossMessages
+	// counts barrier-delivered cross-shard messages. All three are
+	// deterministic for a fixed event graph and shard count.
+	Windows       uint64
+	WindowCycles  Cycle
+	CrossMessages uint64
+}
+
+// NewSharded builds a sharded engine with k shards and the given
+// lookahead (the minimum cross-shard latency, and therefore the maximum
+// window width). Lookahead must be at least 1 cycle or no window could
+// make progress.
+func NewSharded(k int, lookahead Cycle) *ShardedEngine {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: sharded engine needs at least 1 shard, got %d", k))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: sharded engine needs lookahead >= 1, got %d", lookahead))
+	}
+	se := &ShardedEngine{lookahead: lookahead}
+	for i := 0; i < k; i++ {
+		se.shards = append(se.shards, &Shard{id: i, se: se, eng: NewEngine()})
+	}
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i.
+func (se *ShardedEngine) Shard(i int) *Shard { return se.shards[i] }
+
+// Lookahead returns the engine's lookahead (maximum window width).
+func (se *ShardedEngine) Lookahead() Cycle { return se.lookahead }
+
+// Now returns the latest cycle any shard has reached (or the limit, after
+// a truncated Run). Between barriers the value is stale; read it from the
+// barrier hook or after Run returns.
+func (se *ShardedEngine) Now() Cycle { return se.now }
+
+// SetBarrier installs fn to run at every window barrier, after the
+// window's cross-shard messages have been delivered. Every shard is
+// quiescent while fn runs, so it may touch any shard's state — this is
+// where serialized global work (and stop-condition bookkeeping) belongs.
+func (se *ShardedEngine) SetBarrier(fn func()) { se.barrier = fn }
+
+// minNext scans the shard heaps for the globally earliest pending event.
+func (se *ShardedEngine) minNext() (Cycle, bool) {
+	var min Cycle
+	any := false
+	for _, s := range se.shards {
+		if at, ok := s.eng.NextAt(); ok && (!any || at < min) {
+			min, any = at, true
+		}
+	}
+	return min, any
+}
+
+// Run executes bounded-lag windows until cond reports true at a barrier,
+// no work remains, or the next event would pass limit (limit zero means
+// no limit; as with Engine.Run, events at exactly limit still execute).
+// parallelism <= 1 runs windows serially on the calling goroutine; any
+// larger value runs each window's shards on their own goroutines. Results
+// are identical either way. It returns the cycle at which it stopped.
+func (se *ShardedEngine) Run(limit Cycle, cond func() bool, parallelism int) Cycle {
+	for {
+		if cond != nil && cond() {
+			return se.now
+		}
+		minNext, any := se.minNext()
+		if !any {
+			return se.now
+		}
+		if limit != 0 && minNext > limit {
+			se.now = limit
+			return se.now
+		}
+		h := minNext + se.lookahead
+		if limit != 0 && h > limit+1 {
+			h = limit + 1
+		}
+		se.runWindow(h, parallelism)
+		se.Windows++
+		se.WindowCycles += h - minNext
+		for _, s := range se.shards {
+			if now := s.eng.Now(); now > se.now {
+				se.now = now
+			}
+		}
+		se.deliver()
+		if se.barrier != nil {
+			se.barrier()
+		}
+	}
+}
+
+// runWindow advances every shard to the horizon h.
+func (se *ShardedEngine) runWindow(h Cycle, parallelism int) {
+	if parallelism <= 1 || len(se.shards) == 1 {
+		for _, s := range se.shards {
+			t0 := time.Now()
+			s.eng.RunBefore(h)
+			d := time.Since(t0).Nanoseconds()
+			s.lastExecNS = d
+			s.execNS += d
+		}
+		return
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, s := range se.shards {
+		s.lastExecNS = 0
+		next, ok := s.eng.NextAt()
+		if !ok || next >= h {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			t0 := time.Now()
+			s.eng.RunBefore(h)
+			s.lastExecNS = time.Since(t0).Nanoseconds()
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start).Nanoseconds()
+	for _, s := range se.shards {
+		s.execNS += s.lastExecNS
+		if w := wall - s.lastExecNS; w > 0 {
+			s.waitNS += w
+		}
+	}
+}
+
+// deliver merges every shard's outgoing messages in (cycle, srcShard,
+// srcSeq) order and pushes them onto their destination heaps. The merge
+// order fixes the destination-side (at, seq) tie-break, making dispatch
+// order independent of which goroutine produced which message first.
+func (se *ShardedEngine) deliver() {
+	batch := se.batch[:0]
+	for _, s := range se.shards {
+		batch = append(batch, s.out...)
+		for i := range s.out {
+			s.out[i] = xmsg{}
+		}
+		s.out = s.out[:0]
+	}
+	if len(batch) == 0 {
+		se.batch = batch
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].at != batch[j].at {
+			return batch[i].at < batch[j].at
+		}
+		if batch[i].src != batch[j].src {
+			return batch[i].src < batch[j].src
+		}
+		return batch[i].srcSeq < batch[j].srcSeq
+	})
+	for _, m := range batch {
+		se.shards[m.dst].eng.At(m.at, m.call)
+	}
+	se.CrossMessages += uint64(len(batch))
+	for i := range batch {
+		batch[i] = xmsg{}
+	}
+	se.batch = batch[:0]
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestEngineStoppedAccessor covers the Stop/Stopped contract: Stop inside
+// an event must halt RunUntil before cond is re-evaluated, and the
+// stopped state must remain observable after return (distinguishing "an
+// event stopped me" from "the queue drained" or "cond held").
+func TestEngineStoppedAccessor(t *testing.T) {
+	e := NewEngine()
+	condCalls := 0
+	fired := 0
+	e.At(5, func() { fired++; e.Stop() })
+	e.At(6, func() { fired++ }) // must not run: Stop wins first
+
+	now := e.RunUntil(0, func() bool { condCalls++; return false })
+	if now != 5 || fired != 1 {
+		t.Fatalf("RunUntil stopped at cycle %d after %d events, want cycle 5 after 1", now, fired)
+	}
+	if !e.Stopped() {
+		t.Fatalf("Stopped() = false after Stop halted RunUntil")
+	}
+	// RunUntil checks stopped before cond on every iteration: cond ran
+	// once before the event at cycle 5 executed, and must not have run
+	// again after Stop.
+	if condCalls != 1 {
+		t.Fatalf("cond evaluated %d times, want exactly 1 (before the stopping event only)", condCalls)
+	}
+
+	// A fresh Run resets the state and resumes with the remaining event.
+	now = e.Run(0)
+	if now != 6 || fired != 2 {
+		t.Fatalf("resumed Run reached cycle %d after %d total events, want 6 after 2", now, fired)
+	}
+	if e.Stopped() {
+		t.Fatalf("Stopped() = true after a Run that drained the queue")
+	}
+}
+
+func TestEngineStoppedFalseOnDrainAndCond(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.Run(0)
+	if e.Stopped() {
+		t.Fatalf("Stopped() = true after queue drain")
+	}
+	e.At(2, func() {})
+	e.RunUntil(0, func() bool { return true })
+	if e.Stopped() {
+		t.Fatalf("Stopped() = true after cond-terminated RunUntil")
+	}
+}
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatalf("NextAt reported an event on an empty engine")
+	}
+	e.At(7, func() {})
+	e.At(3, func() {})
+	if at, ok := e.NextAt(); !ok || at != 3 {
+		t.Fatalf("NextAt = (%d, %v), want (3, true)", at, ok)
+	}
+}
+
+func TestShardedSendValidation(t *testing.T) {
+	se := NewSharded(2, 10)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("lookahead violation", func() { se.Shard(0).Send(1, 5, func() {}) })
+	mustPanic("unknown shard", func() { se.Shard(0).Send(7, 100, func() {}) })
+	// Same-shard send is a local schedule and bypasses the lookahead.
+	se.Shard(0).Send(0, 0, func() {})
+	if se.Shard(0).Engine().Pending() != 1 {
+		t.Fatalf("same-shard send did not schedule locally")
+	}
+}
+
+// fuzzNode is one logical event in a random DAG: firing it may spawn
+// local children and cross-shard children. Behaviour is a pure function
+// of the node id, so dispatch effects are identical however the engine
+// interleaves independent events.
+type fuzzNode struct {
+	id    int
+	shard int
+	at    Cycle
+}
+
+// buildFuzzDAG generates a deterministic random event DAG: roots are
+// scheduled directly, every fired node may schedule children locally
+// (any delay >= 0) or cross-shard (delay >= lookahead). It returns the
+// root set plus a spawn function shared by the serial reference and the
+// sharded runs.
+type fuzzDAG struct {
+	k         int
+	lookahead Cycle
+	roots     []fuzzNode
+	children  map[int][]fuzzNode // parent id -> children (delays encoded in at as offsets)
+}
+
+func buildFuzzDAG(rng *rand.Rand, k int, lookahead Cycle, uniqueCycles bool) *fuzzDAG {
+	d := &fuzzDAG{k: k, lookahead: lookahead, children: map[int][]fuzzNode{}}
+	nextID := 0
+	usedAt := map[[2]int]bool{} // (shard, cycle) -> taken, for uniqueCycles mode
+	place := func(shard int, at Cycle) Cycle {
+		if !uniqueCycles {
+			return at
+		}
+		for usedAt[[2]int{shard, int(at)}] {
+			at++
+		}
+		usedAt[[2]int{shard, int(at)}] = true
+		return at
+	}
+	nRoots := 2 + rng.Intn(2*k)
+	for i := 0; i < nRoots; i++ {
+		shard := rng.Intn(k)
+		at := place(shard, Cycle(rng.Intn(50)))
+		d.roots = append(d.roots, fuzzNode{id: nextID, shard: shard, at: at})
+		nextID++
+	}
+	// Breadth-first expansion to a bounded node count.
+	frontier := append([]fuzzNode(nil), d.roots...)
+	for len(frontier) > 0 && nextID < 400 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		kids := rng.Intn(4)
+		for c := 0; c < kids && nextID < 400; c++ {
+			child := fuzzNode{id: nextID}
+			if rng.Intn(3) == 0 && k > 1 {
+				// Cross-shard: delay >= lookahead.
+				child.shard = rng.Intn(k)
+				for child.shard == n.shard {
+					child.shard = rng.Intn(k)
+				}
+				child.at = place(child.shard, n.at+lookahead+Cycle(rng.Intn(40)))
+			} else {
+				child.shard = n.shard
+				child.at = place(child.shard, n.at+Cycle(rng.Intn(30)))
+			}
+			nextID++
+			d.children[n.id] = append(d.children[n.id], child)
+			frontier = append(frontier, child)
+		}
+	}
+	return d
+}
+
+type dispatchRec struct {
+	ID int
+	At Cycle
+}
+
+// runSerialReference executes the DAG on a single sim.Engine and returns
+// the per-shard dispatch logs.
+func (d *fuzzDAG) runSerialReference() [][]dispatchRec {
+	eng := NewEngine()
+	logs := make([][]dispatchRec, d.k)
+	var fire func(n fuzzNode) Event
+	fire = func(n fuzzNode) Event {
+		return func() {
+			logs[n.shard] = append(logs[n.shard], dispatchRec{ID: n.id, At: eng.Now()})
+			for _, c := range d.children[n.id] {
+				eng.At(c.at, fire(c))
+			}
+		}
+	}
+	for _, r := range d.roots {
+		eng.At(r.at, fire(r))
+	}
+	eng.Run(0)
+	return logs
+}
+
+// runSharded executes the DAG on a ShardedEngine and returns the
+// per-shard dispatch logs plus the engine for stat inspection.
+func (d *fuzzDAG) runSharded(parallelism int) ([][]dispatchRec, *ShardedEngine) {
+	se := NewSharded(d.k, d.lookahead)
+	logs := make([][]dispatchRec, d.k)
+	var fire func(n fuzzNode) Event
+	fire = func(n fuzzNode) Event {
+		return func() {
+			sh := se.Shard(n.shard)
+			logs[n.shard] = append(logs[n.shard], dispatchRec{ID: n.id, At: sh.Engine().Now()})
+			for _, c := range d.children[n.id] {
+				sh.Send(c.shard, c.at, fire(c))
+			}
+		}
+	}
+	for _, r := range d.roots {
+		se.Shard(r.shard).Engine().At(r.at, fire(r))
+	}
+	se.Run(0, nil, parallelism)
+	return logs, se
+}
+
+// TestShardedFuzzVsSerialEngine is the differential fuzz of the tentpole:
+// random event DAGs with random shard assignments, cross-shard delays
+// >= lookahead, unique (shard, cycle) pairs so the serial engine's global
+// (cycle, seq) order projects onto a unique per-shard order — the sharded
+// engine must reproduce that per-shard dispatch order exactly.
+func TestShardedFuzzVsSerialEngine(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		lookahead := Cycle(1 + rng.Intn(16))
+		d := buildFuzzDAG(rng, k, lookahead, true)
+
+		want := d.runSerialReference()
+		got, se := d.runSharded(1)
+		for s := 0; s < k; s++ {
+			if !reflect.DeepEqual(want[s], got[s]) {
+				t.Fatalf("seed %d: shard %d dispatch order diverged\nserial:  %v\nsharded: %v",
+					seed, s, want[s], got[s])
+			}
+		}
+		if se.Windows == 0 {
+			t.Fatalf("seed %d: sharded run executed no windows", seed)
+		}
+	}
+}
+
+// TestShardedWorkerCountDeterminism: with ties allowed (same shard, same
+// cycle), the per-shard dispatch order must still be bit-identical across
+// worker counts — the determinism contract the machine runner relies on.
+func TestShardedWorkerCountDeterminism(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		lookahead := Cycle(1 + rng.Intn(16))
+		d := buildFuzzDAG(rng, k, lookahead, false)
+
+		base, baseEng := d.runSharded(1)
+		for _, par := range []int{2, 4, 8} {
+			got, gotEng := d.runSharded(par)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("seed %d: dispatch order differs between parallelism 1 and %d", seed, par)
+			}
+			if baseEng.Windows != gotEng.Windows || baseEng.CrossMessages != gotEng.CrossMessages ||
+				baseEng.WindowCycles != gotEng.WindowCycles {
+				t.Fatalf("seed %d parallelism %d: window stats diverged: (%d,%d,%d) vs (%d,%d,%d)",
+					seed, par, baseEng.Windows, baseEng.CrossMessages, baseEng.WindowCycles,
+					gotEng.Windows, gotEng.CrossMessages, gotEng.WindowCycles)
+			}
+		}
+	}
+}
+
+// TestShardedBarrierAndLimit exercises the barrier hook contract (runs
+// once per window with all shards quiescent, may schedule new work) and
+// the limit semantics (events at exactly limit run; later ones do not;
+// Now reports the limit after truncation).
+func TestShardedBarrierAndLimit(t *testing.T) {
+	se := NewSharded(2, 8)
+	var fired []string
+	se.Shard(0).Engine().At(3, func() { fired = append(fired, "a@3") })
+	se.Shard(1).Engine().At(10, func() { fired = append(fired, "b@10") })
+	se.Shard(1).Engine().At(21, func() { fired = append(fired, "c@21") })
+
+	barriers := 0
+	refilled := false
+	se.SetBarrier(func() {
+		barriers++
+		if !refilled {
+			refilled = true
+			// The hook may schedule new work on any shard.
+			se.Shard(0).Engine().At(se.Shard(0).Engine().Now()+1, func() { fired = append(fired, "hook") })
+		}
+	})
+	now := se.Run(20, nil, 1)
+	if now != 20 {
+		t.Fatalf("truncated Run returned %d, want limit 20", now)
+	}
+	// First window: H = 3+8 = 11 covers both a@3 and b@10; the hook's
+	// event lands in the following window.
+	want := []string{"a@3", "b@10", "hook"}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if barriers == 0 {
+		t.Fatalf("barrier hook never ran")
+	}
+
+	// Resuming without a limit drains the rest.
+	se.Run(0, nil, 1)
+	if fmt.Sprint(fired) != fmt.Sprint(append(want, "c@21")) {
+		t.Fatalf("after resume fired %v", fired)
+	}
+}
+
+// TestShardedCondStopsAtBarrier: cond is only consulted at barriers, and
+// a true cond stops the run before the next window.
+func TestShardedCondStopsAtBarrier(t *testing.T) {
+	se := NewSharded(2, 4)
+	count := 0
+	var ev Event
+	ev = func() {
+		count++
+		se.Shard(0).Engine().Schedule(1, ev)
+	}
+	se.Shard(0).Engine().At(0, ev)
+	se.Run(0, func() bool { return count >= 10 }, 1)
+	if count < 10 {
+		t.Fatalf("cond stopped early: %d events", count)
+	}
+	// One window can overshoot cond by at most the window width.
+	if count > 10+int(se.Lookahead()) {
+		t.Fatalf("cond checked too rarely: %d events for threshold 10, lookahead %d", count, se.Lookahead())
+	}
+}
