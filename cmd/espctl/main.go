@@ -4,18 +4,22 @@
 //
 //	espctl [-addr http://127.0.0.1:8585] <command> [flags]
 //
-//	espctl submit -arch esp-nuca -workload apache -seed 2 [-wait]
+//	espctl submit -arch esp-nuca -workload apache -seed 2 [-wait] [-trace-id ID]
 //	espctl submit -matrix -workloads apache,oltp -variant-set counterparts [-wait]
 //	espctl wait j00000001
 //	espctl fetch j00000001
 //	espctl status j00000001
+//	espctl trace j00000001
 //	espctl jobs
 //	espctl cancel j00000001
 //	espctl cache-stats
 //	espctl health
+//	espctl ready
 //
 // wait streams the job's JSONL event feed and prints progress to
-// stderr; fetch prints the result payload as JSON on stdout.
+// stderr; fetch prints the result payload as JSON on stdout; trace
+// renders the job's span tree as an indented timeline, which makes a
+// result-cache hit visible (the tree stops at cache-lookup hit=true).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -45,7 +50,7 @@ func fail(err error) {
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8585", "espserved base URL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: espctl [-addr URL] <submit|status|wait|fetch|jobs|cancel|cache-stats|health> [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: espctl [-addr URL] <submit|status|wait|fetch|trace|jobs|cancel|cache-stats|health|ready> [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +71,8 @@ func main() {
 		err = c.wait(args)
 	case "fetch":
 		err = c.fetch(args)
+	case "trace":
+		err = c.trace(args)
 	case "jobs":
 		err = c.jobs(args)
 	case "cancel":
@@ -74,6 +81,8 @@ func main() {
 		err = c.getAndPrint("/v1/cache/stats")
 	case "health":
 		err = c.getAndPrint("/healthz")
+	case "ready":
+		err = c.ready()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -104,7 +113,7 @@ func terminal(state string) bool {
 	return state == "succeeded" || state == "failed" || state == "canceled"
 }
 
-func (c *client) do(method, path string, body any) ([]byte, int, error) {
+func (c *client) do(method, path string, body any, hdrs ...[2]string) ([]byte, int, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -119,6 +128,9 @@ func (c *client) do(method, path string, body any) ([]byte, int, error) {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for _, h := range hdrs {
+		req.Header.Set(h[0], h[1])
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -174,6 +186,7 @@ func (c *client) submit(args []string) error {
 		priority = fs.Int("priority", 0, "queue priority (higher runs sooner)")
 		deadline = fs.Duration("deadline", 0, "total deadline (queue + run), e.g. 90s (0 = none)")
 		wait     = fs.Bool("wait", false, "wait for completion and print the result")
+		traceID  = fs.String("trace-id", "", "propagate this correlation ID into the job's trace (empty = server-generated)")
 	)
 	fs.Parse(args)
 
@@ -243,7 +256,11 @@ func (c *client) submit(args []string) error {
 		spec["kind"], spec["run"] = "run", r
 	}
 
-	b, code, err := c.do(http.MethodPost, "/v1/jobs", spec)
+	var hdrs [][2]string
+	if *traceID != "" {
+		hdrs = append(hdrs, [2]string{"X-Trace-Id", *traceID})
+	}
+	b, code, err := c.do(http.MethodPost, "/v1/jobs", spec, hdrs...)
 	if err != nil {
 		return err
 	}
@@ -251,7 +268,8 @@ func (c *client) submit(args []string) error {
 		return apiErr(b, code)
 	}
 	var idResp struct {
-		ID string `json:"id"`
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
 	}
 	if err := json.Unmarshal(b, &idResp); err != nil {
 		return err
@@ -260,7 +278,11 @@ func (c *client) submit(args []string) error {
 		fmt.Println(idResp.ID)
 		return nil
 	}
-	fmt.Fprintln(os.Stderr, "submitted", idResp.ID)
+	if idResp.TraceID != "" {
+		fmt.Fprintln(os.Stderr, "submitted", idResp.ID, "trace", idResp.TraceID)
+	} else {
+		fmt.Fprintln(os.Stderr, "submitted", idResp.ID)
+	}
 	return c.waitAndFetch(idResp.ID)
 }
 
@@ -368,6 +390,141 @@ func (c *client) fetch(args []string) error {
 		return err
 	}
 	return c.getAndPrint("/v1/jobs/" + id + "/result")
+}
+
+// span and traceView mirror the /v1/jobs/{id}/trace wire shape.
+type span struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+type traceView struct {
+	JobID   string `json:"job_id"`
+	TraceID string `json:"trace_id"`
+	State   string `json:"state"`
+	Spans   []span `json:"spans"`
+}
+
+func fmtMS(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 1, 64) + "ms"
+}
+
+// fmtAttrs renders an attribute bag as sorted k=v pairs.
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return "  " + strings.Join(parts, " ")
+}
+
+// trace renders the job's span tree as an indented timeline: one line
+// per span with its offset from the trace start, duration, a scaled
+// bar, and its attributes. A warm resubmission is immediately visible:
+// the tree ends at `cache-lookup hit=true` with no `run` underneath.
+func (c *client) trace(args []string) error {
+	id, err := needID(args, "trace")
+	if err != nil {
+		return err
+	}
+	b, code, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return apiErr(b, code)
+	}
+	var tv traceView
+	if err := json.Unmarshal(b, &tv); err != nil {
+		return err
+	}
+	if len(tv.Spans) == 0 {
+		fmt.Printf("trace %s  job %s (%s)  no spans\n", tv.TraceID, tv.JobID, tv.State)
+		return nil
+	}
+	minStart, maxEnd := tv.Spans[0].Start, tv.Spans[0].Start
+	for _, sp := range tv.Spans {
+		if sp.Start.Before(minStart) {
+			minStart = sp.Start
+		}
+		end := sp.End
+		if end.IsZero() {
+			end = sp.Start
+		}
+		if end.After(maxEnd) {
+			maxEnd = end
+		}
+	}
+	total := maxEnd.Sub(minStart)
+	if total <= 0 {
+		total = time.Millisecond
+	}
+	children := make(map[uint64][]span)
+	for _, sp := range tv.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	fmt.Printf("trace %s  job %s (%s)  %d spans  %s\n",
+		tv.TraceID, tv.JobID, tv.State, len(tv.Spans), fmtMS(total))
+	const barWidth = 32
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, sp := range children[parent] {
+			off := sp.Start.Sub(minStart)
+			end, open := sp.End, false
+			if end.IsZero() {
+				end, open = maxEnd, true
+			}
+			dur := end.Sub(sp.Start)
+			lo := int(float64(off) / float64(total) * barWidth)
+			hi := int(float64(off+dur) / float64(total) * barWidth)
+			if lo >= barWidth {
+				lo = barWidth - 1
+			}
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > barWidth {
+				hi = barWidth
+			}
+			bar := strings.Repeat(".", lo) + strings.Repeat("=", hi-lo) + strings.Repeat(".", barWidth-hi)
+			durStr := fmtMS(dur)
+			if open {
+				durStr += " (open)"
+			}
+			name := strings.Repeat("  ", depth) + sp.Name
+			fmt.Printf("  %-28s %10s %14s  [%s]%s\n",
+				name, "+"+fmtMS(off), durStr, bar, fmtAttrs(sp.Attrs))
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return nil
+}
+
+// ready prints the daemon's readiness snapshot; a draining (or
+// otherwise not-ready) daemon exits non-zero.
+func (c *client) ready() error {
+	b, code, err := c.do(http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(b)
+	if code != http.StatusOK {
+		return fmt.Errorf("not ready (HTTP %d)", code)
+	}
+	return nil
 }
 
 func (c *client) jobs(args []string) error {

@@ -94,6 +94,7 @@ func cmdRun(args []string) {
 	rf := addRunFlags(fs, "esp-nuca")
 	metrics := fs.String("metrics", "-", "JSONL interval metrics file ('-': stdout, '': off)")
 	tracePath := fs.String("trace", "", "Chrome trace_event JSON file ('': off)")
+	promPath := fs.String("prom", "", "final registry snapshot in Prometheus text format ('': off)")
 	fs.Parse(args)
 
 	reg := obs.NewRegistry()
@@ -137,6 +138,19 @@ func cmdRun(args []string) {
 			fail(err)
 		}
 	}
+	if *promPath != "" {
+		f, err := os.Create(*promPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "%s/%s seed %d: %d intervals, %d series, throughput %.4f\n",
 		rep.Arch, rep.Workload, rep.Seed, reg.Ticks(), len(reg.SeriesNames()), rep.Throughput)
@@ -145,6 +159,9 @@ func cmdRun(args []string) {
 	}
 	if *tracePath != "" {
 		fmt.Fprintf(os.Stderr, "trace:   %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if *promPath != "" {
+		fmt.Fprintf(os.Stderr, "prom:    %s\n", *promPath)
 	}
 }
 

@@ -8,18 +8,23 @@
 //
 //	espserved -addr :8585 -cache-dir /var/cache/espnuca
 //	espserved -workers 2 -parallel 0 -queue 256
+//	espserved -log-level debug -log-format json -pprof
 //
 // API (see internal/service):
 //
 //	GET    /healthz                 liveness
+//	GET    /readyz                  readiness (503 while draining)
 //	GET    /metricsz                service metrics + cache stats
+//	                                (?format=prom: Prometheus exposition)
 //	POST   /v1/jobs                 submit {"run": {...}} or {"matrix": {...}}
 //	GET    /v1/jobs                 list
 //	GET    /v1/jobs/{id}            status (+result when done)
 //	DELETE /v1/jobs/{id}            cancel
 //	GET    /v1/jobs/{id}/result     result payload
+//	GET    /v1/jobs/{id}/trace      per-job span tree (espctl trace)
 //	GET    /v1/jobs/{id}/events     progress stream (SSE; ?format=jsonl)
 //	GET    /v1/cache/stats          result-cache counters
+//	GET    /debug/pprof/...         runtime profiles (-pprof)
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, cancels queued
 // jobs, lets in-flight jobs finish (bounded by -drain-timeout) and
@@ -31,11 +36,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,45 +49,85 @@ import (
 	"espnuca/internal/service"
 )
 
+// newLogger builds the daemon's structured logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8585", "listen address")
-		cacheDir = flag.String("cache-dir", "", "result cache directory (empty: in-memory cache only)")
-		memEnts  = flag.Int("mem-entries", 0, "in-memory cache tier capacity (0 = default)")
-		workers  = flag.Int("workers", 2, "jobs executed concurrently")
-		queue    = flag.Int("queue", 0, "bounded queue limit (0 = default)")
-		retain   = flag.Int("retain", 0, "terminal jobs kept queryable before eviction (0 = default, negative = unlimited)")
-		parallel = flag.Int("parallel", 0, "per-matrix-job worker pool bound (0 = all cores)")
-		drainT   = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for in-flight jobs on shutdown")
+		addr      = flag.String("addr", ":8585", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "result cache directory (empty: in-memory cache only)")
+		memEnts   = flag.Int("mem-entries", 0, "in-memory cache tier capacity (0 = default)")
+		workers   = flag.Int("workers", 2, "jobs executed concurrently")
+		queue     = flag.Int("queue", 0, "bounded queue limit (0 = default)")
+		retain    = flag.Int("retain", 0, "terminal jobs kept queryable before eviction (0 = default, negative = unlimited)")
+		parallel  = flag.Int("parallel", 0, "per-matrix-job worker pool bound (0 = all cores)")
+		drainT    = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for in-flight jobs on shutdown")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		tracing   = flag.Bool("trace", true, "record per-job span traces (GET /v1/jobs/{id}/trace)")
 	)
 	flag.Parse()
-	log.SetPrefix("espserved: ")
-	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espserved:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	store, err := resultcache.Open(*cacheDir, resultcache.Options{MemEntries: *memEnts})
 	if err != nil {
-		log.Fatal(err)
+		fatal("open result cache", err)
 	}
 	sched, err := service.New(service.Config{
 		Workers:    *workers,
 		QueueLimit: *queue,
 		RetainJobs: *retain,
 		Runner:     &service.SimRunner{Cache: store, Parallelism: *parallel},
+		Logger:     logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("start scheduler", err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched, store)}
+	handler := service.NewServer(sched, store, service.ServerOptions{
+		Logger:         logger,
+		Pprof:          *pprofOn,
+		DisableTracing: !*tracing,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
 	// The bound address line is machine-readable (the CI smoke test and
 	// scripts scrape it when -addr :0 picks a free port).
 	fmt.Printf("espserved listening on %s\n", ln.Addr())
+	logger.Info("espserved started", "addr", ln.Addr().String(), "workers", *workers,
+		"pprof", *pprofOn, "trace", *tracing)
 	if *cacheDir != "" {
-		log.Printf("result cache at %s", *cacheDir)
+		logger.Info("result cache opened", "dir", *cacheDir)
 	}
 
 	errc := make(chan error, 1)
@@ -91,9 +137,9 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %s, draining", sig)
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drainT.String())
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		fatal("serve", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
@@ -106,18 +152,18 @@ func main() {
 	drainc := make(chan error, 1)
 	go func() { drainc <- sched.Drain(ctx) }()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := <-drainc; err != nil {
-		log.Printf("drain: %v (in-flight jobs were force-canceled)", err)
+		logger.Warn("drain timed out, in-flight jobs were force-canceled", "error", err)
 	}
 	if err := store.Close(); err != nil {
-		log.Printf("cache index: %v", err)
+		logger.Warn("cache index close", "error", err)
 	} else if *cacheDir != "" {
-		log.Printf("cache index persisted")
+		logger.Info("cache index persisted")
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		logger.Warn("serve", "error", err)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

@@ -131,6 +131,56 @@ func (h *Histogram) Snapshot() (count uint64, sum float64, buckets []uint64) {
 	return h.count, h.sum, append([]uint64(nil), h.counts...)
 }
 
+// Quantiles estimates the value at each rank p in ps (each in [0, 1]),
+// interpolating linearly inside the bucket that holds the rank — the
+// same estimator as Prometheus's histogram_quantile, so the JSON and
+// Prometheus views of a histogram agree. Ranks that land in the
+// overflow bucket clamp to the largest finite bound (there is nothing
+// to interpolate toward). An empty histogram reports 0 everywhere.
+// Safe on a nil receiver.
+func (h *Histogram) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	count, bounds := h.count, h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	h.mu.Unlock()
+	if count == 0 || len(bounds) == 0 {
+		return out
+	}
+	for i, p := range ps {
+		out[i] = quantile(p, count, bounds, counts)
+	}
+	return out
+}
+
+// quantile resolves one rank against a bucket snapshot.
+func quantile(p float64, count uint64, bounds []float64, counts []uint64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(count)
+	var cum uint64
+	for i, bound := range bounds {
+		prev := cum
+		cum += counts[i]
+		if float64(cum) >= target && counts[i] > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			return lo + (bound-lo)*(target-float64(prev))/float64(counts[i])
+		}
+	}
+	// Rank fell in the overflow bucket: clamp to the largest bound.
+	return bounds[len(bounds)-1]
+}
+
 // Bounds returns the bucket upper bounds. Safe on a nil receiver.
 func (h *Histogram) Bounds() []float64 {
 	if h == nil {
@@ -428,6 +478,38 @@ func (r *Registry) Snapshot() (counters map[string]uint64, gauges map[string]flo
 		}
 	}
 	return counters, gauges, series
+}
+
+// HistogramSummary is the point-in-time JSON view of one histogram:
+// totals plus the standard latency percentiles. The /metricsz JSON
+// format serves it; the Prometheus format derives the same quantiles.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// HistogramSummaries returns a summary of every registered histogram.
+// Safe on a nil receiver (nil map).
+func (r *Registry) HistogramSummaries() map[string]HistogramSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramSummary, len(hists))
+	for _, h := range hists {
+		count, sum, _ := h.Snapshot()
+		q := h.Quantiles(0.5, 0.95, 0.99)
+		out[h.Name()] = HistogramSummary{Count: count, Sum: sum, P50: q[0], P95: q[1], P99: q[2]}
+	}
+	return out
 }
 
 // snapshot is the JSONL interval record.

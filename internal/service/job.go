@@ -268,5 +268,6 @@ type JobView struct {
 	Started    *time.Time      `json:"started,omitempty"`
 	Finished   *time.Time      `json:"finished,omitempty"`
 	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 }

@@ -32,7 +32,10 @@ func (r *SimRunner) Run(ctx context.Context, spec JobSpec, progress func(done, t
 		if err := ctx.Err(); err != nil {
 			return experiment.RunResult{}, err
 		}
-		return r.Cache.Run(rc) // nil-safe: direct experiment.Run
+		// ctx carries the job's trace (when tracing is on), so the cache
+		// records per-cell cache-lookup/run/cache-store spans. Nil-safe:
+		// a nil store is a direct experiment.Run.
+		return r.Cache.RunCtx(ctx, rc)
 	}
 	switch spec.Kind {
 	case KindRun:

@@ -3,8 +3,11 @@ package service
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,6 +28,9 @@ var (
 	ErrNotFound = errors.New("service: no such job")
 	// ErrDeadline marks a job that exceeded its deadline.
 	ErrDeadline = errors.New("service: deadline exceeded")
+	// ErrNoTrace reports a job that carries no span trace (the daemon was
+	// started with tracing disabled, or the job was submitted without one).
+	ErrNoTrace = errors.New("service: job has no trace")
 )
 
 // errClientCancel is the cancellation cause Cancel plants, so the
@@ -67,10 +73,28 @@ type Config struct {
 	// Runner executes the jobs. Required.
 	Runner Runner
 	// Obs receives service telemetry (jobs submitted/completed/failed/
-	// canceled/rejected counters, queue depth and running gauges). Nil
-	// creates a private registry, readable via Scheduler.Obs.
+	// canceled/rejected counters, queue depth and running gauges, and the
+	// per-stage latency histograms). Nil creates a private registry,
+	// readable via Scheduler.Obs.
 	Obs *obs.Registry
+	// Logger receives structured job-lifecycle logs (submissions, state
+	// transitions, drain progress). Nil is silent — tests and library
+	// embedders pay nothing.
+	Logger *slog.Logger
 }
+
+// StageLatencyBounds is the shared millisecond bucket layout of the
+// per-stage and per-endpoint latency histograms: fine-grained at the
+// sub-millisecond API end, coarse at the minutes-long simulation end.
+var StageLatencyBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 300_000}
+
+// discardLogger builds a logger whose handler is disabled at every
+// level, so call sites can log unconditionally.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // DefaultQueueLimit bounds the queue when Config.QueueLimit is 0.
 const DefaultQueueLimit = 256
@@ -97,6 +121,14 @@ type job struct {
 
 	cancel   context.CancelCauseFunc // non-nil while running
 	watchers map[chan struct{}]struct{}
+
+	// trace is the job's span tree (nil when tracing is off); queuedSpan
+	// is open from submission until a worker dequeues the job.
+	trace      *obs.JobTrace
+	queuedSpan obs.SpanHandle
+	// encoded memoizes the JSON encoding of a succeeded job's result, so
+	// the encode cost is paid (and its span recorded) once, not per fetch.
+	encoded []byte
 
 	heapIdx int // position in the queue heap, -1 when not queued
 }
@@ -126,7 +158,12 @@ type Scheduler struct {
 	gRunning      *obs.Gauge
 	cShardWindows *obs.Counter
 	cShardReqs    *obs.Counter
+	hQueueWait    *obs.Histogram
+	hRun          *obs.Histogram
+	hEncode       *obs.Histogram
 	runningGauges int
+
+	logger *slog.Logger
 }
 
 // New starts a scheduler with cfg.Workers workers.
@@ -161,6 +198,13 @@ func New(cfg Config) (*Scheduler, error) {
 
 		cShardWindows: reg.Counter("service.shard_windows"),
 		cShardReqs:    reg.Counter("service.shard_requests"),
+		hQueueWait:    reg.Histogram("service.stage.queue_wait_ms", StageLatencyBounds),
+		hRun:          reg.Histogram("service.stage.run_ms", StageLatencyBounds),
+		hEncode:       reg.Histogram("service.stage.encode_ms", StageLatencyBounds),
+		logger:        cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = discardLogger()
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < cfg.Workers; w++ {
@@ -175,18 +219,30 @@ func (s *Scheduler) Obs() *obs.Registry { return s.reg }
 
 // Submit validates and enqueues a job, returning its ID.
 func (s *Scheduler) Submit(spec JobSpec) (string, error) {
+	return s.SubmitTraced(spec, nil)
+}
+
+// SubmitTraced is Submit with a span trace attached to the job: the
+// scheduler opens the `queued` span now, propagates tr through the
+// worker's context into the runner and result cache, and serves the
+// finished tree via Trace. A nil tr records nothing (plain Submit).
+func (s *Scheduler) SubmitTraced(spec JobSpec, tr *obs.JobTrace) (string, error) {
 	if err := spec.normalize(); err != nil {
 		return "", err
 	}
 	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
 		s.cRejected.Inc()
+		s.mu.Unlock()
+		s.logger.Info("job rejected", "reason", "draining", "trace", tr.TraceID())
 		return "", ErrDraining
 	}
 	if s.queue.Len() >= s.cfg.QueueLimit {
 		s.cRejected.Inc()
+		depth := s.queue.Len()
+		s.mu.Unlock()
+		s.logger.Info("job rejected", "reason", "queue full", "queue_depth", depth, "trace", tr.TraceID())
 		return "", ErrQueueFull
 	}
 	s.seq++
@@ -197,16 +253,22 @@ func (s *Scheduler) Submit(spec JobSpec) (string, error) {
 		state:     StateQueued,
 		submitted: now,
 		watchers:  make(map[chan struct{}]struct{}),
+		trace:     tr,
 		heapIdx:   -1,
 	}
+	j.queuedSpan = tr.StartSpanAt("queued", obs.SpanHandle{}, now)
 	if spec.DeadlineMS > 0 {
 		j.deadline = now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
 	}
 	s.jobs[j.id] = j
 	heap.Push(&s.queue, j)
 	s.cSubmitted.Inc()
-	s.gQueueDepth.Set(float64(s.queue.Len()))
+	depth := s.queue.Len()
+	s.gQueueDepth.Set(float64(depth))
 	s.cond.Signal()
+	s.mu.Unlock()
+	s.logger.Info("job submitted", "job", j.id, "kind", spec.Kind, "priority", spec.Priority,
+		"queue_depth", depth, "trace", tr.TraceID())
 	return j.id, nil
 }
 
@@ -239,6 +301,106 @@ func (s *Scheduler) Result(id string) (any, error) {
 		return nil, fmt.Errorf("service: job %s canceled", id)
 	default:
 		return nil, fmt.Errorf("service: job %s not finished (state %s)", id, j.state)
+	}
+}
+
+// EncodedResult returns the succeeded job's payload as JSON. The bytes
+// are marshaled (and the job's `encode` span recorded) once, then
+// memoized, so event streams and repeated fetches reuse one encoding.
+// Callers must treat the returned slice as read-only.
+func (s *Scheduler) EncodedResult(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.state != StateSucceeded {
+		s.mu.Unlock()
+		// Route through Result for the per-state error shape.
+		_, err := s.Result(id)
+		if err == nil {
+			err = fmt.Errorf("service: job %s not finished", id)
+		}
+		return nil, err
+	}
+	if j.encoded != nil {
+		b := j.encoded
+		s.mu.Unlock()
+		return b, nil
+	}
+	res, tr := j.result, j.trace
+	s.mu.Unlock()
+
+	start := time.Now()
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("service: encode job %s result: %w", id, err)
+	}
+	s.hEncode.Observe(durMS(time.Since(start)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.encoded == nil {
+		j.encoded = b
+		// Only the winning encoder records the span, so the tree carries
+		// exactly one `encode` even under concurrent first fetches.
+		sp := tr.StartSpanAt("encode", obs.SpanHandle{}, start)
+		sp.SetAttr("bytes", fmt.Sprintf("%d", len(b)))
+		sp.End()
+	}
+	return j.encoded, nil
+}
+
+// TraceView is the JSON shape of GET /v1/jobs/{id}/trace: the job's
+// whole span tree plus its correlation ID.
+type TraceView struct {
+	JobID   string     `json:"job_id"`
+	TraceID string     `json:"trace_id"`
+	State   State      `json:"state"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+// Trace returns the job's span tree so far (terminal jobs have the
+// complete tree once their result has been fetched, which records the
+// final `encode` span). ErrNoTrace if the job was submitted untraced.
+func (s *Scheduler) Trace(id string) (TraceView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return TraceView{}, ErrNotFound
+	}
+	tr, state := j.trace, j.state
+	s.mu.Unlock()
+	if tr == nil {
+		return TraceView{}, fmt.Errorf("%w: %s", ErrNoTrace, id)
+	}
+	return TraceView{JobID: id, TraceID: tr.TraceID(), State: state, Spans: tr.Snapshot()}, nil
+}
+
+// HealthView is the readiness snapshot served by /readyz. Ready flips
+// to false the moment Drain starts, so load balancers and probes stop
+// routing to a terminating daemon while its in-flight jobs finish.
+type HealthView struct {
+	Ready      bool `json:"ready"`
+	Draining   bool `json:"draining"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueLimit int  `json:"queue_limit"`
+	Running    int  `json:"running"`
+	Workers    int  `json:"workers"`
+}
+
+// Health reports the scheduler's readiness and load.
+func (s *Scheduler) Health() HealthView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return HealthView{
+		Ready:      !s.draining,
+		Draining:   s.draining,
+		QueueDepth: s.queue.Len(),
+		QueueLimit: s.cfg.QueueLimit,
+		Running:    s.runningGauges,
+		Workers:    s.cfg.Workers,
 	}
 }
 
@@ -324,6 +486,7 @@ func (s *Scheduler) Watch(ctx context.Context, id string, fn func(JobView) error
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	s.logger.Info("drain started", "queued", s.queue.Len(), "running", s.runningGauges)
 	for s.queue.Len() > 0 {
 		j := heap.Pop(&s.queue).(*job)
 		j.heapIdx = -1
@@ -340,6 +503,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.logger.Info("drain complete")
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -350,6 +514,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.logger.Info("drain complete", "forced", true)
 		return ctx.Err()
 	}
 }
@@ -376,6 +541,8 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		now := time.Now()
+		j.queuedSpan.End()
+		s.hQueueWait.Observe(durMS(now.Sub(j.submitted)))
 		if !j.deadline.IsZero() && now.After(j.deadline) {
 			s.finalizeLocked(j, StateFailed, nil, ErrDeadline)
 			s.mu.Unlock()
@@ -395,13 +562,19 @@ func (s *Scheduler) worker() {
 		j.notifyLocked()
 		spec := j.spec
 		s.mu.Unlock()
+		s.logger.Info("job running", "job", j.id, "kind", spec.Kind,
+			"queue_wait_ms", durMS(now.Sub(j.submitted)), "trace", j.trace.TraceID())
 
-		payload, err := s.cfg.Runner.Run(ctx, spec, func(done, total int) {
+		// The context carries the job's trace down through the runner and
+		// the result cache, which record the cache-lookup/run/cache-store
+		// spans per simulation cell.
+		payload, err := s.cfg.Runner.Run(obs.ContextWithJobTrace(ctx, j.trace), spec, func(done, total int) {
 			s.mu.Lock()
 			j.progress = Progress{Done: done, Total: total}
 			j.notifyLocked()
 			s.mu.Unlock()
 		})
+		s.hRun.Observe(durMS(time.Since(now)))
 
 		// Read the context's verdict before releasing it: cancelCause
 		// below self-cancels ctx, after which every job — including one
@@ -467,6 +640,9 @@ func (s *Scheduler) finalizeLocked(j *job, state State, payload any, err error) 
 	if j.state.Terminal() {
 		return
 	}
+	// A job canceled while still queued (client cancel, drain, expired
+	// deadline) never reached a worker; close its queue span here.
+	j.queuedSpan.End()
 	if state == StateSucceeded {
 		if w, r := shardTotals(payload); w > 0 {
 			s.cShardWindows.Add(w)
@@ -487,6 +663,12 @@ func (s *Scheduler) finalizeLocked(j *job, state State, payload any, err error) 
 		s.cCanceled.Inc()
 	}
 	j.notifyLocked()
+	logAttrs := []any{"job", j.id, "state", string(state), "trace", j.trace.TraceID(),
+		"total_ms", durMS(j.finished.Sub(j.submitted))}
+	if err != nil {
+		logAttrs = append(logAttrs, "error", err.Error())
+	}
+	s.logger.Info("job finished", logAttrs...)
 	// Evict the oldest terminal jobs past the retention bound so the
 	// table (and the result payloads it pins) stays bounded. Watchers
 	// hold their own *job and have already been woken with the terminal
@@ -522,6 +704,7 @@ func (j *job) viewLocked() JobView {
 		Progress:   j.progress,
 		Submitted:  j.submitted,
 		DeadlineMS: j.spec.DeadlineMS,
+		TraceID:    j.trace.TraceID(),
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"espnuca/internal/experiment"
+	"espnuca/internal/obs"
+	"espnuca/internal/resultcache"
+)
+
+// submitTraced posts spec with an optional client trace ID and returns
+// the submit response plus the response's X-Trace-Id header.
+func submitTraced(t *testing.T, ts *httptest.Server, spec JobSpec, clientTrace string) (id, traceID, header string) {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if clientTrace != "" {
+		req.Header.Set(TraceHeader, clientTrace)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	return out.ID, out.TraceID, resp.Header.Get(TraceHeader)
+}
+
+func fetchTrace(t *testing.T, ts *httptest.Server, id string) TraceView {
+	t.Helper()
+	var tv TraceView
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/trace", &tv); code != http.StatusOK {
+		t.Fatalf("trace %s: HTTP %d", id, code)
+	}
+	return tv
+}
+
+func indexSpans(spans []obs.Span) map[string][]obs.Span {
+	m := map[string][]obs.Span{}
+	for _, sp := range spans {
+		m[sp.Name] = append(m[sp.Name], sp)
+	}
+	return m
+}
+
+// TestServedTraceColdThenWarm is the tentpole acceptance test: a cold
+// submission's trace walks the whole lifecycle (received -> queued ->
+// cache-lookup miss -> run with a simulate sub-span -> cache-store ->
+// encode), and an identical resubmission's trace short-circuits at
+// cache-lookup hit=true with no run span, because the result came from
+// the cache. The client-supplied X-Trace-Id survives the whole way.
+func TestServedTraceColdThenWarm(t *testing.T) {
+	ts, _, store := newTestServer(t, t.TempDir())
+	spec := quickRunSpec(11)
+
+	const clientTrace = "deadbeef00c0ffee"
+	id1, traceID, hdr := submitTraced(t, ts, spec, clientTrace)
+	if traceID != clientTrace || hdr != clientTrace {
+		t.Fatalf("trace ID not propagated: body %q header %q", traceID, hdr)
+	}
+	v1 := waitJobTerminal(t, ts, id1)
+	if v1.State != StateSucceeded {
+		t.Fatalf("cold job: %s (%s)", v1.State, v1.Error)
+	}
+	if v1.TraceID != clientTrace {
+		t.Errorf("JobView.TraceID = %q, want %q", v1.TraceID, clientTrace)
+	}
+	// Fetch the result so the encode span is recorded.
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id1+"/result", nil); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+
+	cold := fetchTrace(t, ts, id1)
+	if cold.TraceID != clientTrace {
+		t.Errorf("TraceView.TraceID = %q", cold.TraceID)
+	}
+	m := indexSpans(cold.Spans)
+	for _, name := range []string{"received", "queued", "cache-lookup", "run", "simulate", "cache-store", "encode"} {
+		if len(m[name]) != 1 {
+			t.Errorf("cold trace has %d %q spans, want 1 (spans: %v)", len(m[name]), name, names(cold.Spans))
+		}
+	}
+	if len(m["cache-lookup"]) == 1 && m["cache-lookup"][0].Attrs["hit"] != "false" {
+		t.Errorf("cold cache-lookup attrs = %v, want hit=false", m["cache-lookup"][0].Attrs)
+	}
+	if len(m["run"]) == 1 && len(m["simulate"]) == 1 && m["simulate"][0].Parent != m["run"][0].ID {
+		t.Errorf("simulate span not parented under run")
+	}
+	for _, sp := range cold.Spans {
+		if sp.End.IsZero() {
+			t.Errorf("cold trace span %q left open", sp.Name)
+		}
+	}
+
+	// Identical resubmission: a distinct job whose trace visibly stops
+	// at the cache.
+	id2, traceID2, _ := submitTraced(t, ts, spec, "")
+	if id2 == id1 {
+		t.Fatalf("resubmission reused job ID %s", id1)
+	}
+	if traceID2 == "" || traceID2 == clientTrace {
+		t.Fatalf("warm submission trace ID = %q", traceID2)
+	}
+	if v2 := waitJobTerminal(t, ts, id2); v2.State != StateSucceeded {
+		t.Fatalf("warm job: %s (%s)", v2.State, v2.Error)
+	}
+	warm := fetchTrace(t, ts, id2)
+	wm := indexSpans(warm.Spans)
+	if lk := wm["cache-lookup"]; len(lk) != 1 || lk[0].Attrs["hit"] != "true" {
+		t.Fatalf("warm cache-lookup spans = %+v", lk)
+	}
+	if len(wm["run"]) != 0 || len(wm["cache-store"]) != 0 {
+		t.Errorf("warm trace did not short-circuit: %v", names(warm.Spans))
+	}
+	if st := store.Stats(); st.Runs != 1 {
+		t.Errorf("Runs = %d, want 1 (the warm job must not have simulated)", st.Runs)
+	}
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestServedTracedRunBitIdentical is the non-perturbation guarantee end
+// to end: the traced service returns byte-for-byte the same result as a
+// direct, untraced experiment.Run.
+func TestServedTracedRunBitIdentical(t *testing.T) {
+	ts, _, _ := newTestServer(t, t.TempDir())
+	spec := quickRunSpec(13)
+
+	rc, err := spec.Run.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := experiment.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, _ := submitTraced(t, ts, spec, "")
+	if v := waitJobTerminal(t, ts, id); v.State != StateSucceeded {
+		t.Fatalf("job: %s (%s)", v.State, v.Error)
+	}
+	var served experiment.RunResult
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &served); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if served != direct {
+		t.Errorf("served traced result differs from direct run:\n served %+v\n direct %+v", served, direct)
+	}
+	if tv := fetchTrace(t, ts, id); len(tv.Spans) == 0 {
+		t.Error("trace recorded no spans")
+	}
+}
+
+// TestServerTracingDisabled covers the off switch: no trace ID is
+// issued, the trace endpoint answers 404, and jobs still run.
+func TestServerTracingDisabled(t *testing.T) {
+	store, err := resultcache.Open("", resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(Config{Workers: 1, Runner: &SimRunner{Cache: store, Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(sched, store, ServerOptions{DisableTracing: true}))
+	defer ts.Close()
+
+	id, traceID, hdr := submitTraced(t, ts, quickRunSpec(17), "ignored")
+	if traceID != "" || hdr != "" {
+		t.Errorf("untraced submission returned trace ID %q / header %q", traceID, hdr)
+	}
+	v := waitJobTerminal(t, ts, id)
+	if v.State != StateSucceeded {
+		t.Fatalf("job: %s (%s)", v.State, v.Error)
+	}
+	if v.TraceID != "" {
+		t.Errorf("JobView.TraceID = %q, want empty", v.TraceID)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/trace", &e); code != http.StatusNotFound {
+		t.Fatalf("trace of untraced job: HTTP %d", code)
+	}
+	if !strings.Contains(e.Error, "no trace") {
+		t.Errorf("trace error = %q", e.Error)
+	}
+}
+
+// TestReadyzSplit asserts the liveness/readiness split: both answer 200
+// on a healthy daemon, and once draining starts /readyz flips to 503
+// while /healthz keeps answering 200.
+func TestReadyzSplit(t *testing.T) {
+	store, err := resultcache.Open("", resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(Config{Workers: 1, Runner: &SimRunner{Cache: store, Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(sched, store))
+	defer ts.Close()
+
+	var h HealthView
+	if code := getJSON(t, ts.URL+"/readyz", &h); code != http.StatusOK {
+		t.Fatalf("readyz before drain: HTTP %d", code)
+	}
+	if !h.Ready || h.Draining || h.Workers != 1 {
+		t.Errorf("health before drain = %+v", h)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz before drain: HTTP %d", code)
+	}
+
+	if err := sched.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: HTTP %d, want 503", code)
+	}
+	if h.Ready || !h.Draining {
+		t.Errorf("health while draining = %+v", h)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz while draining: HTTP %d (liveness must stay up)", code)
+	}
+}
+
+// TestMetricszPromExposition asserts the content-negotiated Prometheus
+// view: valid exposition lines, the per-endpoint submit histogram, the
+// per-stage histograms and the manually appended cache counters.
+func TestMetricszPromExposition(t *testing.T) {
+	ts, _, _ := newTestServer(t, t.TempDir())
+	v := submitAndWait(t, ts, quickRunSpec(19))
+	if v.State != StateSucceeded {
+		t.Fatalf("job: %s", v.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricsz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE service_jobs_submitted counter",
+		"service_jobs_submitted 1",
+		"# TYPE service_http_latency_ms_post_v1_jobs histogram",
+		"service_http_latency_ms_post_v1_jobs_bucket{le=\"+Inf\"} 1",
+		"# TYPE service_stage_run_ms histogram",
+		"service_stage_run_ms_count 1",
+		"service_stage_queue_wait_ms_summary{quantile=\"0.95\"}",
+		"# TYPE resultcache_runs counter",
+		"resultcache_runs 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// The Accept header negotiates the same view; default stays JSON
+	// with the histogram summaries attached.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metricsz", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Accept negotiation Content-Type = %q", ct)
+	}
+	var js struct {
+		Histograms map[string]obs.HistogramSummary `json:"histograms"`
+	}
+	if code := getJSON(t, ts.URL+"/metricsz", &js); code != http.StatusOK {
+		t.Fatalf("json metricsz: HTTP %d", code)
+	}
+	if s, ok := js.Histograms["service.stage.run_ms"]; !ok || s.Count != 1 {
+		t.Errorf("json histograms missing run stage: %+v", js.Histograms)
+	}
+}

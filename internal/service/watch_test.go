@@ -1,0 +1,216 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"espnuca/internal/obs"
+)
+
+// TestWatchConcurrentWatchersWithCancellations stresses the coalesced
+// watch streams: many watchers follow one job while half of them cancel
+// mid-stream. Survivors must observe a strictly consistent stream —
+// monotone progress, exactly one terminal snapshot as the final view —
+// and the cancellations must neither wedge nor starve them. Run with
+// -race (CI does) to catch notification races.
+func TestWatchConcurrentWatchersWithCancellations(t *testing.T) {
+	r := &blockingRunner{block: true, release: make(chan struct{})}
+	s, err := New(Config{Workers: 1, Runner: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+
+	id, err := s.Submit(runSpec("apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const watchers = 20
+	type outcome struct {
+		err       error
+		views     int
+		lastState State
+		monotone  bool
+		terminals int
+	}
+	results := make([]outcome, watchers)
+	cancels := make([]context.CancelFunc, watchers)
+	var started, done sync.WaitGroup
+	for i := 0; i < watchers; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			defer cancel()
+			first := true
+			prev := -1
+			out := outcome{monotone: true}
+			out.err = s.Watch(ctx, id, func(v JobView) error {
+				if first {
+					first = false
+					started.Done()
+				}
+				out.views++
+				out.lastState = v.State
+				if v.Progress.Done < prev {
+					out.monotone = false
+				}
+				prev = v.Progress.Done
+				if v.State.Terminal() {
+					out.terminals++
+				}
+				return nil
+			})
+			if first {
+				started.Done()
+			}
+			results[i] = out
+		}(i)
+	}
+	// Every watcher has seen its first snapshot; now half of them leave
+	// mid-stream while the job is still running.
+	started.Wait()
+	for i := 0; i < watchers; i += 2 {
+		cancels[i]()
+	}
+	// Let the job finish and every surviving stream drain.
+	close(r.release)
+	done.Wait()
+
+	for i, out := range results {
+		canceled := i%2 == 0
+		if canceled {
+			// A canceler may still have observed the terminal state if the
+			// job finished before its cancel was noticed; it must report
+			// either a clean end or its own context error — never a hang
+			// (done.Wait above) and never a scheduler error.
+			if out.err != nil && !errors.Is(out.err, context.Canceled) {
+				t.Errorf("watcher %d (canceled): err = %v", i, out.err)
+			}
+			continue
+		}
+		if out.err != nil {
+			t.Errorf("watcher %d: err = %v", i, out.err)
+		}
+		if !out.lastState.Terminal() || out.terminals != 1 {
+			t.Errorf("watcher %d: last state %s, %d terminal views (want exactly 1, last)",
+				i, out.lastState, out.terminals)
+		}
+		if !out.monotone {
+			t.Errorf("watcher %d: progress went backwards", i)
+		}
+		if out.views < 2 {
+			t.Errorf("watcher %d: saw %d views, want >= 2 (initial + terminal)", i, out.views)
+		}
+	}
+
+	// The watcher table must be empty again: no leaked channels.
+	s.mu.Lock()
+	j := s.jobs[id]
+	left := len(j.watchers)
+	s.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d watcher channels leaked", left)
+	}
+}
+
+// BenchmarkSubmitPath measures the pure submission cost per job with
+// tracing off and on. The one worker is parked on a blocked job and the
+// submissions stay queued, so the timer sees only the submit path —
+// validation, queue push, and (traced) the trace allocation plus the
+// queued span — with no worker-pool scheduling noise. Drain happens
+// outside the timer. The issue's acceptance bar: traced stays within 2%
+// of untraced, and tracing disabled costs nothing.
+func BenchmarkSubmitPath(b *testing.B) {
+	bench := func(b *testing.B, traced bool) {
+		// Submissions are timed in bounded batches against a parked
+		// worker, with drain and scheduler teardown between batches left
+		// out of the timer: the live job set stays small, so GC pressure
+		// from the queue itself does not masquerade as tracing overhead.
+		const batch = 4096
+		spec := runSpec("apache")
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			b.StopTimer()
+			r := &blockingRunner{block: true, release: make(chan struct{})}
+			s, err := New(Config{Workers: 1, QueueLimit: batch + 1, RetainJobs: 64, Runner: r})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := batch
+			if left := b.N - done; left < n {
+				n = left
+			}
+			b.StartTimer()
+			for k := 0; k < n; k++ {
+				var tr *obs.JobTrace
+				if traced {
+					tr = obs.NewJobTrace("")
+				}
+				if _, err := s.SubmitTraced(spec, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(r.release)
+			s.Drain(context.Background())
+			b.StartTimer()
+			done += n
+		}
+	}
+	for _, c := range []struct {
+		name   string
+		traced bool
+	}{{"untraced", false}, {"traced", true}} {
+		b.Run(c.name, func(b *testing.B) { bench(b, c.traced) })
+	}
+}
+
+// BenchmarkHTTPSubmitPath is the A/B the issue's bar is stated against:
+// the full POST /v1/jobs round trip with tracing on vs off. The span
+// work is a few hundred nanoseconds under a multi-microsecond HTTP
+// request, so the two variants must land within a couple percent.
+func BenchmarkHTTPSubmitPath(b *testing.B) {
+	bench := func(b *testing.B, disable bool) {
+		r := &blockingRunner{block: true, release: make(chan struct{})}
+		s, err := New(Config{Workers: 1, QueueLimit: 1 << 31, RetainJobs: 64, Runner: r})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := NewServer(s, nil, ServerOptions{DisableTracing: disable})
+		ts := httptest.NewServer(srv)
+		body, err := json.Marshal(runSpec("apache"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := ts.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("HTTP %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		ts.Close()
+		close(r.release)
+		s.Drain(context.Background())
+	}
+	b.Run("traced", func(b *testing.B) { bench(b, false) })
+	b.Run("untraced", func(b *testing.B) { bench(b, true) })
+}
