@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -40,6 +41,9 @@ import (
 type client struct {
 	base string
 	http *http.Client
+	// retries is the max transient-failure retries on idempotent (GET)
+	// calls; 0 disables retrying.
+	retries int
 }
 
 func fail(err error) {
@@ -49,6 +53,7 @@ func fail(err error) {
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8585", "espserved base URL")
+	retries := flag.Int("retries", 4, "max retries of idempotent calls on transient errors (refused/reset, 502/503); 0 disables")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: espctl [-addr URL] <submit|status|wait|fetch|trace|jobs|cancel|cache-stats|health|ready> [flags]\n")
 		flag.PrintDefaults()
@@ -58,7 +63,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{}}
+	c := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{}, retries: *retries}
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
@@ -113,7 +118,43 @@ func terminal(state string) bool {
 	return state == "succeeded" || state == "failed" || state == "canceled"
 }
 
+// do issues one API call. Idempotent calls — GETs, which status, wait
+// (its polling fallback), fetch, jobs, trace, cache-stats and health
+// all are — retry transient failures (connection refused/reset, 502,
+// 503) with capped exponential backoff plus jitter, so a restarting or
+// briefly overloaded daemon doesn't fail a watch loop. /readyz is
+// exempt: its 503 is the answer ("draining"), not an outage. Writes
+// (submit, cancel) are never retried — the caller must not risk a
+// duplicate job.
 func (c *client) do(method, path string, body any, hdrs ...[2]string) ([]byte, int, error) {
+	attempts := 1
+	if method == http.MethodGet && c.retries > 0 && path != "/readyz" {
+		attempts = c.retries + 1
+	}
+	var (
+		b    []byte
+		code int
+		err  error
+	)
+	backoff := 100 * time.Millisecond
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2+1))))
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		b, code, err = c.doOnce(method, path, body, hdrs...)
+		// A transport error on a GET is always safe to retry; 502/503
+		// mean a proxy or a draining daemon that may come back.
+		if err == nil && code != http.StatusBadGateway && code != http.StatusServiceUnavailable {
+			return b, code, nil
+		}
+	}
+	return b, code, err
+}
+
+func (c *client) doOnce(method, path string, body any, hdrs ...[2]string) ([]byte, int, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)

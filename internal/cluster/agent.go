@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"espnuca/internal/experiment"
+	"espnuca/internal/obs"
+	"espnuca/internal/resultcache"
+)
+
+// AgentConfig tunes a worker's Agent.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://127.0.0.1:9000". Required.
+	Coordinator string
+	// NodeID is this worker's stable identity. Required.
+	NodeID string
+	// Advertise is the peer-reachable host:port this worker serves on.
+	// Required.
+	Advertise string
+	// Node reports the worker's in-flight load on heartbeats. Optional.
+	Node *NodeServer
+	// LeasePoll is the wait between lease re-polls while another node
+	// holds the key (0: 100ms).
+	LeasePoll time.Duration
+	// Obs receives the agent-side service.cluster.* instruments. Required.
+	Obs *obs.Registry
+	// Logger is optional.
+	Logger *slog.Logger
+	// HTTPClient overrides the intra-cluster client (tests).
+	HTTPClient *http.Client
+}
+
+// Agent is the worker side of the cluster protocol: it registers with
+// the coordinator, heartbeats (re-joining automatically when a
+// coordinator restart answers 404), and implements the result cache's
+// remote tier — peer fetch and cluster-wide run leases — against the
+// coordinator's API. Every coordinator interaction is best-effort: a
+// dead coordinator degrades the worker to node-local behavior, it
+// never blocks compute.
+type Agent struct {
+	cfg    AgentConfig
+	hc     *http.Client
+	logger *slog.Logger
+	joined atomic.Bool
+
+	cBeats   *obs.Counter
+	cRejoins *obs.Counter
+	cErrs    *obs.Counter
+	cRemote  *obs.Counter
+}
+
+// NewAgent builds a worker agent. Call Run to start the membership
+// loop and SetRemote(agent.Remote()) to enable the cache's remote
+// tier.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.LeasePoll <= 0 {
+		cfg.LeasePoll = 100 * time.Millisecond
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = defaultHTTPClient()
+	}
+	return &Agent{
+		cfg:      cfg,
+		hc:       hc,
+		logger:   logger,
+		cBeats:   cfg.Obs.Counter("service.cluster.heartbeats"),
+		cRejoins: cfg.Obs.Counter("service.cluster.rejoins"),
+		cErrs:    cfg.Obs.Counter("service.cluster.coordinator_errors"),
+		cRemote:  cfg.Obs.Counter("service.cluster.remote_cache_hits"),
+	}
+}
+
+// Run joins the coordinator (retrying until it succeeds) and then
+// heartbeats at the coordinator-granted cadence until ctx ends. A 404
+// heartbeat — the coordinator restarted and lost its membership table
+// — triggers an immediate re-join, rebuilding the coordinator's state
+// within one interval.
+func (a *Agent) Run(ctx context.Context) {
+	interval := a.join(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+		inflight := 0
+		if a.cfg.Node != nil {
+			inflight = a.cfg.Node.Inflight()
+		}
+		var resp joinResponse
+		code, err := postJSON(ctx, a.hc, a.cfg.Coordinator+"/cluster/v1/heartbeat",
+			heartbeatRequest{Node: a.cfg.NodeID, Inflight: inflight}, &resp)
+		switch {
+		case err == nil:
+			a.cBeats.Inc()
+			a.joined.Store(true)
+			if d := time.Duration(resp.IntervalMS) * time.Millisecond; d > 0 {
+				interval = d
+			}
+		case code == http.StatusNotFound:
+			a.cRejoins.Inc()
+			a.logger.Warn("coordinator forgot us; re-joining", "node", a.cfg.NodeID)
+			interval = a.join(ctx)
+		default:
+			if ctx.Err() == nil {
+				a.cErrs.Inc()
+				a.joined.Store(false)
+				a.logger.Warn("heartbeat failed", "err", err)
+			}
+		}
+	}
+}
+
+// join registers with the coordinator, retrying with capped backoff
+// until it succeeds or ctx ends. Returns the granted heartbeat
+// interval.
+func (a *Agent) join(ctx context.Context) time.Duration {
+	backoff := 200 * time.Millisecond
+	for {
+		var resp joinResponse
+		_, err := postJSON(ctx, a.hc, a.cfg.Coordinator+"/cluster/v1/join",
+			joinRequest{Node: a.cfg.NodeID, Addr: a.cfg.Advertise}, &resp)
+		if err == nil {
+			a.joined.Store(true)
+			a.logger.Info("joined cluster", "coordinator", a.cfg.Coordinator, "node", a.cfg.NodeID)
+			if d := time.Duration(resp.IntervalMS) * time.Millisecond; d > 0 {
+				return d
+			}
+			return DefaultHeartbeatInterval
+		}
+		if ctx.Err() != nil {
+			return DefaultHeartbeatInterval
+		}
+		a.cErrs.Inc()
+		a.logger.Warn("join failed; retrying", "err", err, "backoff", backoff)
+		select {
+		case <-ctx.Done():
+			return DefaultHeartbeatInterval
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// Leave tells the coordinator this worker is departing. drain keeps
+// the node fetchable while it finishes in-flight work; best-effort
+// with its own short deadline (shutdown must not hang on a dead
+// coordinator).
+func (a *Agent) Leave(drain bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_, err := postJSON(ctx, a.hc, a.cfg.Coordinator+"/cluster/v1/leave",
+		leaveRequest{Node: a.cfg.NodeID, Drain: drain}, nil)
+	if err != nil {
+		a.logger.Warn("leave failed", "err", err)
+	}
+}
+
+// WorkerStatus is the worker's /readyz "cluster" section.
+type WorkerStatus struct {
+	Role        string `json:"role"`
+	Coordinator string `json:"coordinator"`
+	Node        string `json:"node"`
+	Joined      bool   `json:"joined"`
+	Inflight    int    `json:"inflight"`
+}
+
+// Status snapshots the agent for /readyz.
+func (a *Agent) Status() any {
+	inflight := 0
+	if a.cfg.Node != nil {
+		inflight = a.cfg.Node.Inflight()
+	}
+	return WorkerStatus{
+		Role:        "worker",
+		Coordinator: a.cfg.Coordinator,
+		Node:        a.cfg.NodeID,
+		Joined:      a.joined.Load(),
+		Inflight:    inflight,
+	}
+}
+
+// Remote returns the resultcache remote tier backed by this agent.
+func (a *Agent) Remote() resultcache.Remote { return remoteTier{a} }
+
+// remoteTier adapts the cluster protocol to resultcache.Remote.
+type remoteTier struct{ a *Agent }
+
+// Fetch locates key through the coordinator and pulls the object
+// straight from the peer that computed it.
+func (t remoteTier) Fetch(ctx context.Context, key string) (experiment.RunResult, bool, error) {
+	a := t.a
+	var loc locateResponse
+	found, err := getJSON(ctx, a.hc, a.cfg.Coordinator+"/cluster/v1/locate/"+key, &loc)
+	if err != nil || !found {
+		return experiment.RunResult{}, false, err
+	}
+	res, err := a.fetchObject(ctx, loc.Addr, key)
+	if err != nil {
+		return experiment.RunResult{}, false, err
+	}
+	a.cRemote.Inc()
+	return res, true, nil
+}
+
+// Acquire runs the cluster-wide singleflight protocol for key: poll
+// the coordinator until this node is granted the run lease (ok=false,
+// release non-nil), or the result exists somewhere and is fetched
+// (ok=true), or the coordinator is unreachable (err — the store
+// degrades to local compute).
+func (t remoteTier) Acquire(ctx context.Context, key string) (experiment.RunResult, bool, func(stored bool), error) {
+	a := t.a
+	for {
+		var resp leaseResponse
+		_, err := postJSON(ctx, a.hc, a.cfg.Coordinator+"/cluster/v1/lease",
+			leaseRequest{Key: key, Node: a.cfg.NodeID}, &resp)
+		if err != nil {
+			return experiment.RunResult{}, false, nil, err
+		}
+		switch resp.State {
+		case leaseGranted:
+			return experiment.RunResult{}, false, t.releaseFunc(key), nil
+		case leaseDone:
+			res, err := a.fetchObject(ctx, resp.Addr, key)
+			if err != nil {
+				return experiment.RunResult{}, false, nil, err
+			}
+			a.cRemote.Inc()
+			return res, true, nil, nil
+		default: // held elsewhere: poll again
+			select {
+			case <-ctx.Done():
+				return experiment.RunResult{}, false, nil, ctx.Err()
+			case <-time.After(a.cfg.LeasePoll):
+			}
+		}
+	}
+}
+
+// releaseFunc builds the lease release callback. It runs on its own
+// short deadline: the compute is already done, and a slow coordinator
+// must not hold the store's singleflight open.
+func (t remoteTier) releaseFunc(key string) func(stored bool) {
+	a := t.a
+	return func(stored bool) {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_, err := postJSON(ctx, a.hc, a.cfg.Coordinator+"/cluster/v1/release",
+			releaseRequest{Key: key, Node: a.cfg.NodeID, Stored: stored}, nil)
+		if err != nil {
+			a.logger.Warn("lease release failed", "key", shortID(key), "err", err)
+		}
+	}
+}
+
+// fetchObject pulls one completed result from a peer, guarding the
+// simulator revision: a mixed-CodeVersion fleet reads as a miss, never
+// as a wrong answer.
+func (a *Agent) fetchObject(ctx context.Context, addr, key string) (experiment.RunResult, error) {
+	var obj objectResponse
+	url := "http://" + addr + "/cluster/v1/object/" + key
+	found, err := getJSON(ctx, a.hc, url, &obj)
+	if err != nil {
+		return experiment.RunResult{}, err
+	}
+	if !found {
+		return experiment.RunResult{}, fmt.Errorf("cluster: peer %s no longer holds %s", addr, shortID(key))
+	}
+	if obj.Version != experiment.CodeVersion || obj.Key != key {
+		return experiment.RunResult{}, fmt.Errorf("cluster: peer %s object mismatch (version %q)", addr, obj.Version)
+	}
+	return obj.Result, nil
+}
+
+func shortID(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -1,0 +1,203 @@
+// Package cluster turns espserved into a coordinator/worker fleet.
+//
+// One daemon is the coordinator: workers register with it over HTTP
+// (join/heartbeat/drain/leave), and jobs submitted to the coordinator
+// shard across the registered workers by the canonical key of each
+// simulation cell (rendezvous hashing with a least-loaded tiebreak).
+// Every daemon's content-addressed result cache gains a remote tier:
+// before computing a cell, a node asks the coordinator who already
+// holds the key (peer fetch before compute), and the coordinator
+// grants cluster-wide run leases so two nodes never simulate the same
+// key concurrently — singleflight held across the fleet, not just
+// within one process.
+//
+// Robustness is the core of the design:
+//
+//   - Worker death is detected by missed heartbeats (and immediately
+//     on a failed dispatch); the dispatcher retries the cell on
+//     another node with the dead node excluded, while genuine runner
+//     errors are returned as-is, never retried and never relabeled.
+//   - Coordinator restart loses only coordination state (membership,
+//     leases, object locations); workers detect the restart through a
+//     404 heartbeat and re-register, rebuilding the tables within one
+//     heartbeat interval. Results are never lost — they live in each
+//     node's content-addressed store.
+//   - A dead or partitioned coordinator degrades every worker to
+//     node-local behavior (compute without leases); correctness is
+//     untouched because runs are pure functions of their
+//     configuration, only the deduplication is lost.
+//
+// espctl stays the single entry point: pointed at the coordinator it
+// submits, watches and fetches exactly as against a standalone daemon
+// — the coordinator's own scheduler owns the job, and only per-cell
+// execution is dispatched.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"espnuca/internal/experiment"
+)
+
+// Wire shapes of the internal /cluster/v1 API. They are versioned by
+// the path prefix; mixed-CodeVersion fleets are additionally guarded
+// at the object layer (objectResponse.Version must match the
+// fetcher's).
+type joinRequest struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+}
+
+type joinResponse struct {
+	IntervalMS int64 `json:"interval_ms"`
+}
+
+type heartbeatRequest struct {
+	Node     string `json:"node"`
+	Inflight int    `json:"inflight"`
+}
+
+type leaveRequest struct {
+	Node string `json:"node"`
+	// Drain marks a graceful departure: the node finishes what it has
+	// but must not be picked for new work.
+	Drain bool `json:"drain,omitempty"`
+}
+
+// Lease protocol states (leaseResponse.State).
+const (
+	leaseGranted = "granted" // caller now holds the run lease
+	leaseHeld    = "held"    // another node is simulating; poll again
+	leaseDone    = "done"    // result exists; fetch it from Addr
+)
+
+type leaseRequest struct {
+	Key  string `json:"key"`
+	Node string `json:"node"`
+}
+
+type leaseResponse struct {
+	State  string `json:"state"`
+	Holder string `json:"holder,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+}
+
+type releaseRequest struct {
+	Key    string `json:"key"`
+	Node   string `json:"node"`
+	Stored bool   `json:"stored"`
+}
+
+type locateResponse struct {
+	Addr string `json:"addr"`
+}
+
+type runRequest struct {
+	Config experiment.RunConfig `json:"config"`
+}
+
+type runResponse struct {
+	Result *experiment.RunResult `json:"result,omitempty"`
+	Error  string                `json:"error,omitempty"`
+}
+
+type objectResponse struct {
+	Version string               `json:"version"`
+	Key     string               `json:"key"`
+	Result  experiment.RunResult `json:"result"`
+}
+
+// shardScore is the rendezvous (highest-random-weight) weight of
+// placing key on node: FNV-1a over both identities, finalized with
+// splitmix64 so near-identical inputs land far apart. Every
+// participant computes the same ranking from the membership list
+// alone — no token ring to rebalance when nodes come and go.
+func shardScore(key, node string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	h ^= 0x9e3779b97f4a7c15 // separate the two fields
+	for i := 0; i < len(node); i++ {
+		h = (h ^ uint64(node[i])) * prime64
+	}
+	// splitmix64 finalizer.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// postJSON round-trips one JSON request/response pair with ctx.
+func postJSON(ctx context.Context, hc *http.Client, url string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("cluster: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if out != nil {
+		if err := json.Unmarshal(b, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("cluster: %s: decode: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// getJSON fetches url and decodes into out. A 404 reports found=false
+// with a nil error — the caller's clean-miss path.
+func getJSON(ctx context.Context, hc *http.Client, url string, out any) (found bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return false, nil
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("cluster: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return true, json.Unmarshal(b, out)
+}
+
+// defaultHTTPClient builds the intra-cluster client: generous overall
+// behavior (simulations stream back whenever they finish) but a
+// bounded dial so a dead peer fails fast instead of hanging a cell.
+func defaultHTTPClient() *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = 64
+	return &http.Client{Transport: t}
+}
+
+func durMS(d time.Duration) int64 { return int64(d / time.Millisecond) }

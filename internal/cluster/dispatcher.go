@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+
+	"espnuca/internal/experiment"
+	"espnuca/internal/obs"
+	"espnuca/internal/resultcache"
+)
+
+// DispatcherConfig tunes a Dispatcher.
+type DispatcherConfig struct {
+	// Coordinator supplies membership, sharding and lease state. Required.
+	Coordinator *Coordinator
+	// Store is the coordinator's own result cache. It must NOT have a
+	// remote tier: the dispatcher already is the remote path, and a
+	// lease-acquiring coordinator store would deadlock against the
+	// worker it dispatched to. Required.
+	Store *resultcache.Store
+	// Obs receives the dispatch instruments. Required.
+	Obs *obs.Registry
+	// Logger is optional.
+	Logger *slog.Logger
+	// HTTPClient overrides the intra-cluster client (tests).
+	HTTPClient *http.Client
+}
+
+// Dispatcher is the coordinator's execution path: it plugs into
+// service.SimRunner.RunCell, so the coordinator's scheduler owns every
+// job while each simulation cell is sharded onto the fleet by its
+// canonical key. Cells still flow through the coordinator's own result
+// cache (warm keys never leave the process) and its process-local
+// singleflight; on a cache miss the compute step becomes "POST the
+// cell to the picked worker".
+//
+// Failure handling discriminates three cases: a transport failure
+// (node died, connection refused, 5xx) excludes the node and retries
+// the cell elsewhere; a genuine runner error arrives as a 200 envelope
+// and is returned verbatim — never retried, never relabeled; and
+// caller cancellation wins over both. With no eligible workers the
+// coordinator simulates locally, so a fleet degraded to one node is
+// just a standalone espserved.
+type Dispatcher struct {
+	coord  *Coordinator
+	store  *resultcache.Store
+	hc     *http.Client
+	logger *slog.Logger
+
+	cDispatched *obs.Counter
+	cRetried    *obs.Counter
+	cLocal      *obs.Counter
+}
+
+// NewDispatcher builds the coordinator-side cell executor.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = defaultHTTPClient()
+	}
+	return &Dispatcher{
+		coord:       cfg.Coordinator,
+		store:       cfg.Store,
+		hc:          hc,
+		logger:      logger,
+		cDispatched: cfg.Obs.Counter("service.cluster.cells_dispatched"),
+		cRetried:    cfg.Obs.Counter("service.cluster.dispatch_retries"),
+		cLocal:      cfg.Obs.Counter("service.cluster.local_runs"),
+	}
+}
+
+// RunCell executes one simulation cell for the scheduler: coordinator
+// cache first, then dispatch. Plug this into service.SimRunner.RunCell.
+func (d *Dispatcher) RunCell(ctx context.Context, rc experiment.RunConfig) (experiment.RunResult, error) {
+	key, err := rc.CanonicalKey()
+	if err != nil {
+		return experiment.RunResult{}, err
+	}
+	res, err := d.store.RunVia(ctx, rc, func(ctx context.Context) (experiment.RunResult, error) {
+		return d.dispatch(ctx, rc, key)
+	})
+	if err == nil {
+		// The object now lives in the coordinator's store; announce it
+		// so workers peer-fetch instead of recomputing.
+		d.coord.RecordLocal(key)
+	}
+	return res, err
+}
+
+// dispatch runs one cold cell on the fleet with retry-with-exclusion.
+func (d *Dispatcher) dispatch(ctx context.Context, rc experiment.RunConfig, key string) (experiment.RunResult, error) {
+	tr := obs.JobTraceFrom(ctx)
+	exclude := make(map[string]bool)
+	for {
+		node, ok := d.coord.Pick(key, exclude)
+		if !ok {
+			// No eligible worker (none registered, all draining, or all
+			// excluded this cell): the coordinator computes. Simulate
+			// emits the same run span as a standalone daemon, so traces
+			// don't change shape when a fleet shrinks to one node.
+			d.cLocal.Inc()
+			return resultcache.Simulate(ctx, rc)
+		}
+		sp := tr.StartSpan("dispatch", obs.SpanHandle{})
+		sp.SetAttr("node", node.ID)
+		sp.SetAttr("key", shortID(key))
+
+		var resp runResponse
+		d.coord.AddInflight(node.ID, 1)
+		code, err := postJSON(ctx, d.hc, "http://"+node.Addr+"/cluster/v1/run", runRequest{Config: rc}, &resp)
+		d.coord.AddInflight(node.ID, -1)
+		sp.End()
+
+		if err != nil {
+			if ctx.Err() != nil {
+				// The caller gave up; the scheduler's cause discrimination
+				// needs the context error, not a wrapped transport one.
+				return experiment.RunResult{}, ctx.Err()
+			}
+			// Transport failure: exclude the node for this cell and retry
+			// elsewhere. Hard failures also drop it from membership — if
+			// it is actually alive (a blip), its next heartbeat 404s and
+			// it re-registers within one interval.
+			d.cRetried.Inc()
+			exclude[node.ID] = true
+			if code == 0 || (code >= 500 && code != http.StatusServiceUnavailable) {
+				d.coord.MarkUnreachable(node.ID)
+			}
+			d.logger.Warn("cell dispatch failed; retrying elsewhere",
+				"node", node.ID, "key", shortID(key), "code", code, "err", err)
+			continue
+		}
+		if resp.Error != "" {
+			// The simulation itself failed on a healthy node. Retrying
+			// cannot help (runs are pure), and the error text is the
+			// user's diagnostic — preserve it exactly.
+			return experiment.RunResult{}, errors.New(resp.Error)
+		}
+		if resp.Result == nil {
+			d.cRetried.Inc()
+			exclude[node.ID] = true
+			d.logger.Warn("peer returned empty result envelope", "node", node.ID)
+			continue
+		}
+		d.cDispatched.Inc()
+		return *resp.Result, nil
+	}
+}

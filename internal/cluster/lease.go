@@ -1,0 +1,108 @@
+package cluster
+
+import "sync"
+
+// locRec names where a completed result can be fetched from. node ==
+// "" marks the coordinator itself (a local-fallback run), which is
+// always considered live.
+type locRec struct {
+	node string
+	addr string
+}
+
+// leaseTable is the coordinator's cluster-wide singleflight state: at
+// most one node holds the run lease for a canonical key at a time, and
+// completed keys carry the address they can be fetched from. The table
+// is soft state — a coordinator restart empties it and the worst case
+// is one duplicated (pure, bit-identical) simulation per in-flight
+// key.
+type leaseTable struct {
+	mu   sync.Mutex
+	held map[string]string // key -> holder node ID
+	loc  map[string]locRec // key -> fetch location
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{held: make(map[string]string), loc: make(map[string]locRec)}
+}
+
+// Acquire implements one poll of the lease protocol. Re-acquiring a
+// lease the node already holds stays granted (idempotent, so a worker
+// retrying after a network blip does not deadlock against itself).
+func (t *leaseTable) Acquire(key, node string) leaseResponse {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.loc[key]; ok {
+		return leaseResponse{State: leaseDone, Holder: l.node, Addr: l.addr}
+	}
+	if holder, ok := t.held[key]; ok && holder != node {
+		return leaseResponse{State: leaseHeld, Holder: holder}
+	}
+	t.held[key] = node
+	return leaseResponse{State: leaseGranted}
+}
+
+// Release ends node's lease on key. stored announces the result is now
+// fetchable at addr (the holder's advertised address).
+func (t *leaseTable) Release(key, node string, stored bool, addr string) {
+	t.mu.Lock()
+	if t.held[key] == node {
+		delete(t.held, key)
+	}
+	if stored {
+		t.loc[key] = locRec{node: node, addr: addr}
+	}
+	t.mu.Unlock()
+}
+
+// RecordLocation registers a completed key without a lease round-trip
+// (the coordinator's own local-fallback runs).
+func (t *leaseTable) RecordLocation(key, node, addr string) {
+	t.mu.Lock()
+	t.loc[key] = locRec{node: node, addr: addr}
+	t.mu.Unlock()
+}
+
+// Locate returns the fetch location for a completed key.
+func (t *leaseTable) Locate(key string) (locRec, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.loc[key]
+	return l, ok
+}
+
+// Forget drops a stale location (the advertised node stopped serving
+// it); the next lease cycle recomputes the key.
+func (t *leaseTable) Forget(key string) {
+	t.mu.Lock()
+	delete(t.loc, key)
+	t.mu.Unlock()
+}
+
+// DropNode releases every lease node holds and forgets every location
+// it advertised — run when the node dies or leaves, so waiters can
+// acquire the lease themselves and nobody chases unreachable objects.
+func (t *leaseTable) DropNode(node string) (leases, locations int) {
+	t.mu.Lock()
+	for key, holder := range t.held {
+		if holder == node {
+			delete(t.held, key)
+			leases++
+		}
+	}
+	for key, l := range t.loc {
+		if l.node == node {
+			delete(t.loc, key)
+			locations++
+		}
+	}
+	t.mu.Unlock()
+	return leases, locations
+}
+
+// Counts reports table sizes for the status view.
+func (t *leaseTable) Counts() (held, locations int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.held), len(t.loc)
+}

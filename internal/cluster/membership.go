@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"espnuca/internal/obs"
+)
+
+// NodeView is the externally visible snapshot of a registered worker,
+// served by /readyz and GET /cluster/v1/nodes.
+type NodeView struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Inflight is the coordinator's count of cells currently dispatched
+	// to the node — the load signal the sharding tiebreak reads.
+	Inflight int `json:"inflight"`
+	// ReportedInflight is the node's own last-heartbeat load (it also
+	// counts work submitted to the worker directly).
+	ReportedInflight int   `json:"reported_inflight"`
+	LastSeenMS       int64 `json:"last_seen_ms"`
+	Draining         bool  `json:"draining"`
+}
+
+type member struct {
+	id       string
+	addr     string
+	lastSeen time.Time
+	inflight int // coordinator-dispatched cells currently on the node
+	reported int // node's own heartbeat-reported load
+	draining bool
+	gauge    *obs.Gauge // service.cluster.node_inflight.<id>
+}
+
+// membership is the coordinator's worker table. All methods are
+// goroutine-safe.
+type membership struct {
+	mu     sync.Mutex
+	nodes  map[string]*member
+	reg    *obs.Registry
+	gPeers *obs.Gauge
+	logger *slog.Logger
+	// onDrop runs (without the lock) whenever a node leaves the table —
+	// the coordinator hooks lease and location cleanup here.
+	onDrop func(id string)
+}
+
+func newMembership(reg *obs.Registry, logger *slog.Logger, onDrop func(string)) *membership {
+	return &membership{
+		nodes:  make(map[string]*member),
+		reg:    reg,
+		gPeers: reg.Gauge("service.cluster.peers"),
+		logger: logger,
+		onDrop: onDrop,
+	}
+}
+
+// Join registers (or refreshes) a node. Rejoining with a new address —
+// a worker restarted on another port — simply overwrites it.
+func (m *membership) Join(id, addr string, now time.Time) {
+	m.mu.Lock()
+	n, ok := m.nodes[id]
+	if !ok {
+		n = &member{id: id, gauge: m.reg.Gauge("service.cluster.node_inflight." + id)}
+		m.nodes[id] = n
+	}
+	n.addr = addr
+	n.lastSeen = now
+	n.draining = false
+	m.gPeers.Set(float64(len(m.nodes)))
+	m.mu.Unlock()
+	if !ok {
+		m.logger.Info("cluster node joined", "node", id, "addr", addr)
+	}
+}
+
+// Heartbeat refreshes a node's liveness and load. known=false tells
+// the worker it is talking to a coordinator that does not remember it
+// (a restart) and must re-join.
+func (m *membership) Heartbeat(id string, inflight int, now time.Time) (known bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[id]
+	if !ok {
+		return false
+	}
+	n.lastSeen = now
+	n.reported = inflight
+	return true
+}
+
+// Drop removes a node (missed heartbeats, failed dispatch, leave).
+func (m *membership) Drop(id, reason string) {
+	m.mu.Lock()
+	n, ok := m.nodes[id]
+	if ok {
+		delete(m.nodes, id)
+		n.gauge.Set(0)
+		m.gPeers.Set(float64(len(m.nodes)))
+	}
+	m.mu.Unlock()
+	if ok {
+		m.logger.Info("cluster node dropped", "node", id, "reason", reason)
+		if m.onDrop != nil {
+			m.onDrop(id)
+		}
+	}
+}
+
+// SetDraining marks a node as gracefully departing: it stays fetchable
+// (its cache objects remain reachable) but is never picked for new
+// dispatches.
+func (m *membership) SetDraining(id string) {
+	m.mu.Lock()
+	if n, ok := m.nodes[id]; ok {
+		n.draining = true
+	}
+	m.mu.Unlock()
+}
+
+// ExpireDead drops every node whose last heartbeat is older than
+// deadAfter. Returns the dropped IDs.
+func (m *membership) ExpireDead(now time.Time, deadAfter time.Duration) []string {
+	m.mu.Lock()
+	var dead []string
+	for id, n := range m.nodes {
+		if now.Sub(n.lastSeen) > deadAfter {
+			dead = append(dead, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range dead {
+		m.Drop(id, "missed heartbeats")
+	}
+	return dead
+}
+
+// AddInflight adjusts the coordinator-side dispatch count (and its
+// per-node gauge). Unknown IDs — the node was dropped while a cell was
+// in flight — are ignored.
+func (m *membership) AddInflight(id string, delta int) {
+	m.mu.Lock()
+	if n, ok := m.nodes[id]; ok {
+		n.inflight += delta
+		n.gauge.Set(float64(n.inflight))
+	}
+	m.mu.Unlock()
+}
+
+// Addr resolves a live node's address.
+func (m *membership) Addr(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[id]
+	if !ok {
+		return "", false
+	}
+	return n.addr, true
+}
+
+// Views snapshots the table, sorted by ID for stable output.
+func (m *membership) Views(now time.Time) []NodeView {
+	m.mu.Lock()
+	out := make([]NodeView, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, NodeView{
+			ID: n.id, Addr: n.addr,
+			Inflight: n.inflight, ReportedInflight: n.reported,
+			LastSeenMS: durMS(now.Sub(n.lastSeen)),
+			Draining:   n.draining,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Pick shards key onto the fleet: the two highest rendezvous-scoring
+// live, non-draining, non-excluded nodes are the candidates, and the
+// less-loaded of the two wins (equal load keeps the higher score, so
+// an idle cluster preserves pure hash affinity and its cache
+// locality). ok=false means no eligible node remains — the dispatcher
+// falls back to running on the coordinator itself.
+func (m *membership) Pick(key string, exclude map[string]bool) (NodeView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best, second *member
+	var bestScore, secondScore uint64
+	for id, n := range m.nodes {
+		if n.draining || exclude[id] {
+			continue
+		}
+		s := shardScore(key, id)
+		switch {
+		case best == nil || s > bestScore:
+			second, secondScore = best, bestScore
+			best, bestScore = n, s
+		case second == nil || s > secondScore:
+			second, secondScore = n, s
+		}
+	}
+	if best == nil {
+		return NodeView{}, false
+	}
+	// Least-loaded tiebreak between the top two hash candidates.
+	if second != nil && second.inflight < best.inflight {
+		best = second
+	}
+	return NodeView{ID: best.id, Addr: best.addr, Inflight: best.inflight}, true
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"espnuca/internal/experiment"
+	"espnuca/internal/obs"
+	"espnuca/internal/resultcache"
+)
+
+// NodeConfig tunes a NodeServer.
+type NodeConfig struct {
+	// Store executes and caches dispatched cells. Required.
+	Store *resultcache.Store
+	// MaxConcurrent bounds simultaneously executing remote cells
+	// (0: 2x GOMAXPROCS — the scheduler on the coordinator is the real
+	// admission control; this is a local backstop against a misbehaving
+	// peer).
+	MaxConcurrent int
+	// Obs receives the node-side service.cluster.* instruments. Required.
+	Obs *obs.Registry
+	// Logger is optional.
+	Logger *slog.Logger
+}
+
+// NodeServer is the execution face every daemon exposes to the fleet:
+// POST /cluster/v1/run executes one simulation cell through the node's
+// result cache, and GET /cluster/v1/object/{key} serves completed
+// results for peer fetch. It is mounted on coordinator and workers
+// alike — the coordinator's objects are peer-fetchable too.
+type NodeServer struct {
+	store    *resultcache.Store
+	sem      chan struct{}
+	logger   *slog.Logger
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	cRuns    *obs.Counter
+	cObjects *obs.Counter
+	cBusy    *obs.Counter
+}
+
+// NewNodeServer builds the execution endpoints around store.
+func NewNodeServer(cfg NodeConfig) *NodeServer {
+	limit := cfg.MaxConcurrent
+	if limit <= 0 {
+		limit = 2 * runtime.GOMAXPROCS(0)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	return &NodeServer{
+		store:    cfg.Store,
+		sem:      make(chan struct{}, limit),
+		logger:   logger,
+		cRuns:    cfg.Obs.Counter("service.cluster.runs_served"),
+		cObjects: cfg.Obs.Counter("service.cluster.objects_served"),
+		cBusy:    cfg.Obs.Counter("service.cluster.runs_rejected"),
+	}
+}
+
+// Mount attaches the node API under /cluster/v1 on srv.
+func (n *NodeServer) Mount(srv Mux) {
+	srv.Handle("POST /cluster/v1/run", n.handleRun)
+	srv.Handle("GET /cluster/v1/object/{key}", n.handleObject)
+}
+
+// SetDraining makes subsequent /run calls answer 503 (the dispatcher
+// treats that as a transport failure and retries elsewhere) while
+// object fetches keep working, so a departing node's cache stays
+// useful until it exits.
+func (n *NodeServer) SetDraining() { n.draining.Store(true) }
+
+// Inflight reports currently executing remote cells — the load the
+// agent self-reports on each heartbeat.
+func (n *NodeServer) Inflight() int { return int(n.inflight.Load()) }
+
+func (n *NodeServer) handleRun(w http.ResponseWriter, r *http.Request) {
+	if n.draining.Load() {
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		return
+	}
+	var req runRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	rc := req.Config
+	// The registry pointer is process-local state; a decoded config must
+	// never carry one (and hostile JSON could make it non-nil).
+	rc.Metrics = nil
+	if _, err := rc.CanonicalKey(); err != nil {
+		http.Error(w, `{"error":"bad config"}`, http.StatusBadRequest)
+		return
+	}
+	select {
+	case n.sem <- struct{}{}:
+	default:
+		// Full semaphore: refuse instead of queueing, the dispatcher's
+		// retry will land the cell on a less-loaded peer.
+		n.cBusy.Inc()
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-n.sem }()
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+
+	res, err := n.store.RunCtx(r.Context(), rc)
+	if err != nil {
+		// A 200 with an error envelope is the "simulation genuinely
+		// failed" signal — distinct from transport failures, so the
+		// dispatcher preserves it instead of retrying.
+		writeOK(w, runResponse{Error: err.Error()})
+		return
+	}
+	n.cRuns.Inc()
+	writeOK(w, runResponse{Result: &res})
+}
+
+func (n *NodeServer) handleObject(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok, err := n.store.Get(key)
+	if err != nil || !ok {
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		return
+	}
+	n.cObjects.Inc()
+	writeOK(w, objectResponse{Version: experiment.CodeVersion, Key: key, Result: res})
+}

@@ -1,0 +1,46 @@
+package resultcache
+
+import (
+	"context"
+
+	"espnuca/internal/experiment"
+)
+
+// Remote is the cluster tier of the cache: a peer-fetch path that asks
+// the rest of the fleet for an already-computed result, and a run-lease
+// protocol that extends singleflight across nodes so two machines never
+// simulate the same canonical key concurrently. internal/cluster
+// provides the HTTP-backed implementation (worker agents talk to the
+// coordinator's lease and location tables); tests plug in in-memory
+// fakes.
+//
+// Both methods are best-effort for availability: a Fetch or Acquire
+// failure degrades the store to node-local behavior (compute anyway,
+// local singleflight still holds) rather than stalling simulations on a
+// coordinator outage. The results stay correct either way — every run
+// is a pure function of its configuration — the cluster tier only
+// removes duplicated work.
+type Remote interface {
+	// Fetch returns the result for key when some peer already holds it.
+	// ok=false with a nil error is a clean remote miss.
+	Fetch(ctx context.Context, key string) (res experiment.RunResult, ok bool, err error)
+
+	// Acquire blocks until this node holds the cluster-wide run lease
+	// for key (release != nil) or the result became available remotely
+	// while waiting (ok=true, no lease held). The caller that got the
+	// lease must call release exactly once when its compute attempt
+	// ends; stored=true announces that the result is now fetchable from
+	// this node. A non-nil error means the lease service is unreachable
+	// (or ctx ended) and no lease is held.
+	Acquire(ctx context.Context, key string) (res experiment.RunResult, ok bool, release func(stored bool), err error)
+}
+
+// SetRemote attaches the cluster tier. Safe only before the store is
+// shared across goroutines (espserved wires it at startup); nil
+// detaches. No-op on a nil store.
+func (s *Store) SetRemote(r Remote) {
+	if s == nil {
+		return
+	}
+	s.remote = r
+}

@@ -1,0 +1,208 @@
+package resultcache
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"espnuca/internal/experiment"
+)
+
+// fakeRemote is an in-memory Remote: a shared result map plus a lease
+// table, standing in for the coordinator so the store's cluster-tier
+// flow is testable without HTTP.
+type fakeRemote struct {
+	mu      sync.Mutex
+	results map[string]experiment.RunResult
+	leases  map[string]bool
+
+	fetches  atomic.Int64
+	acquires atomic.Int64
+	fail     bool // every call errors (coordinator down)
+}
+
+func newFakeRemote() *fakeRemote {
+	return &fakeRemote{
+		results: make(map[string]experiment.RunResult),
+		leases:  make(map[string]bool),
+	}
+}
+
+func (f *fakeRemote) Fetch(ctx context.Context, key string) (experiment.RunResult, bool, error) {
+	f.fetches.Add(1)
+	if f.fail {
+		return experiment.RunResult{}, false, errors.New("fake remote down")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	res, ok := f.results[key]
+	return res, ok, nil
+}
+
+func (f *fakeRemote) Acquire(ctx context.Context, key string) (experiment.RunResult, bool, func(bool), error) {
+	f.acquires.Add(1)
+	if f.fail {
+		return experiment.RunResult{}, false, nil, errors.New("fake remote down")
+	}
+	for {
+		f.mu.Lock()
+		if res, ok := f.results[key]; ok {
+			f.mu.Unlock()
+			return res, true, nil, nil
+		}
+		if !f.leases[key] {
+			f.leases[key] = true
+			f.mu.Unlock()
+			release := func(stored bool) {
+				f.mu.Lock()
+				delete(f.leases, key)
+				f.mu.Unlock()
+			}
+			return experiment.RunResult{}, false, release, nil
+		}
+		f.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return experiment.RunResult{}, false, nil, err
+		}
+	}
+}
+
+// publish makes a result fetchable, as a completing peer node would.
+func (f *fakeRemote) publish(key string, res experiment.RunResult) {
+	f.mu.Lock()
+	f.results[key] = res
+	f.mu.Unlock()
+}
+
+func smallRC(seed uint64) experiment.RunConfig {
+	rc := experiment.DefaultRunConfig("shared", "apache")
+	rc.Warmup, rc.Instructions, rc.Seed = 4000, 1500, seed
+	return rc
+}
+
+// TestRemoteFetchBeforeCompute: a result computed "elsewhere" is served
+// from the remote tier byte-identically, with zero local simulation.
+func TestRemoteFetchBeforeCompute(t *testing.T) {
+	rc := smallRC(7)
+	key, err := rc.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node A computes the truth.
+	want, err := experiment.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := newFakeRemote()
+	remote.publish(key, want)
+
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+	got, err := s.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if string(wb) != string(gb) {
+		t.Fatalf("remote-fetched result differs:\n%s\n%s", wb, gb)
+	}
+	st := s.Stats()
+	if st.Runs != 0 {
+		t.Fatalf("remote hit still simulated locally: %+v", st)
+	}
+	if st.RemoteHits != 1 {
+		t.Fatalf("expected 1 remote hit, got %+v", st)
+	}
+	// The fetched result was adopted locally: the next request is a
+	// plain memory hit without touching the remote tier again.
+	before := remote.fetches.Load()
+	if _, err := s.Run(rc); err != nil {
+		t.Fatal(err)
+	}
+	if remote.fetches.Load() != before {
+		t.Fatalf("second request went remote despite local copy")
+	}
+}
+
+// TestRemoteLeaseComputesOnceAndReleases: a granted lease computes and
+// releases; the release announces the stored result.
+func TestRemoteLeaseComputesOnceAndReleases(t *testing.T) {
+	rc := smallRC(8)
+	remote := newFakeRemote()
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+	if _, err := s.Run(rc); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.RemoteHits != 0 {
+		t.Fatalf("cold run through lease: %+v", st)
+	}
+	remote.mu.Lock()
+	held := len(remote.leases)
+	remote.mu.Unlock()
+	if held != 0 {
+		t.Fatalf("lease not released after compute: %d held", held)
+	}
+}
+
+// TestRemoteDegradesWhenDown: a dead coordinator must not stall local
+// work — the store computes as if it had no cluster tier.
+func TestRemoteDegradesWhenDown(t *testing.T) {
+	rc := smallRC(9)
+	remote := newFakeRemote()
+	remote.fail = true
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+	res, err := s.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired == 0 {
+		t.Fatal("degraded run produced no result")
+	}
+	if st := s.Stats(); st.Runs != 1 {
+		t.Fatalf("expected one local run, got %+v", st)
+	}
+}
+
+// TestRemoteCancellationWins: a canceled caller gets its cancellation
+// error back from the lease wait, not a degraded local run.
+func TestRemoteCancellationWins(t *testing.T) {
+	rc := smallRC(10)
+	key, err := rc.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := newFakeRemote()
+	remote.mu.Lock()
+	remote.leases[key] = true // someone else holds it, forever
+	remote.mu.Unlock()
+
+	s, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRemote(remote)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunCtx(ctx, rc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if st := s.Stats(); st.Runs != 0 {
+		t.Fatalf("canceled caller simulated anyway: %+v", st)
+	}
+}
