@@ -217,6 +217,7 @@ func (c *client) submit(args []string) error {
 		ccProb   = fs.Float64("cc-prob", 0, "Cooperative Caching probability override (0 = default)")
 		sampleW  = fs.Int("sample-windows", 0, "sampled mode: measurement windows per simulation (0 = full run)")
 		shards   = fs.Int("shards", 0, "sharded engine: mesh-region shards per simulation (0 = serial engine)")
+		barrierP = fs.Int("barrier-parallel", 0, "sharded engine: workers per window barrier servicing independent conflict groups (<=1 = serial barriers)")
 
 		matrix     = fs.Bool("matrix", false, "submit a matrix job instead of a single run")
 		workloads  = fs.String("workloads", "", "comma-separated workloads (matrix jobs)")
@@ -270,6 +271,9 @@ func (c *client) submit(args []string) error {
 		if *shards > 0 {
 			m["engine_shards"] = *shards
 		}
+		if *barrierP != 0 {
+			m["barrier_parallelism"] = *barrierP
+		}
 		spec["kind"], spec["matrix"] = "matrix", m
 	} else {
 		r := map[string]any{"arch": *archName, "workload": *wl}
@@ -293,6 +297,9 @@ func (c *client) submit(args []string) error {
 		}
 		if *shards > 0 {
 			r["engine_shards"] = *shards
+		}
+		if *barrierP != 0 {
+			r["barrier_parallelism"] = *barrierP
 		}
 		spec["kind"], spec["run"] = "run", r
 	}

@@ -92,6 +92,7 @@ func main() {
 		sampleEW = flag.String("sample-error", "", "validate sampled vs full runs of this workload across the paper's seven architectures; prints JSON rows")
 		shards   = flag.Int("shards", 0, "sharded engine: partition each simulation into this many mesh-region shards (0 = serial engine)")
 		shardP   = flag.Int("shard-parallel", 0, "goroutines per sharded simulation (0 = one per shard; single runs only)")
+		barrierP = flag.Int("barrier-parallel", 0, "workers per sharded window barrier: service independent conflict groups concurrently (<=1 = serial barriers; needs -shards)")
 		shardEW  = flag.String("shard-error", "", "validate sharded vs serial full runs of this workload across the paper's seven architectures; prints JSON rows")
 		seeds    = flag.Int("seeds", 0, "override the number of perturbation seeds")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = all cores, 1 = serial)")
@@ -154,18 +155,22 @@ func main() {
 	if *sampleW > 0 && *shards > 0 {
 		fail(fmt.Errorf("-sample-windows and -shards are mutually exclusive (pick one execution mode)"))
 	}
+	if *barrierP > 1 && *shards <= 0 && *shardEW == "" {
+		fail(fmt.Errorf("-barrier-parallel needs the sharded engine (-shards or -shard-error)"))
+	}
 	fo := espnuca.FigureOptions{
-		Quick:           *quick,
-		Seeds:           seedList,
-		Instructions:    *instrs,
-		Parallelism:     *parallel,
-		Progress:        newProgress("").report,
-		MetricsDir:      *metrics,
-		TraceEvents:     *traceEv,
-		MetricsInterval: *obsIval,
-		SampleWindows:   *sampleW,
-		EngineShards:    *shards,
-		CacheDir:        *cacheDir,
+		Quick:              *quick,
+		Seeds:              seedList,
+		Instructions:       *instrs,
+		Parallelism:        *parallel,
+		Progress:           newProgress("").report,
+		MetricsDir:         *metrics,
+		TraceEvents:        *traceEv,
+		MetricsInterval:    *obsIval,
+		SampleWindows:      *sampleW,
+		EngineShards:       *shards,
+		BarrierParallelism: *barrierP,
+		CacheDir:           *cacheDir,
 	}
 
 	emit := func(id int) {
@@ -186,7 +191,7 @@ func main() {
 	case *sampleEW != "":
 		sampledError(*sampleEW, *sampleW, *warmup, *instrs)
 	case *shardEW != "":
-		shardedError(*shardEW, *shards, *shardP, *warmup, *instrs)
+		shardedError(*shardEW, *shards, *shardP, *barrierP, *warmup, *instrs)
 	case *stab:
 		stability(*quick, *parallel, *cacheDir)
 	case *sweep == "params":
@@ -233,7 +238,7 @@ func cachedRunner(dir string) (func(experiment.RunConfig) (experiment.RunResult,
 // metrics, the retired-exactness flag, window counts, and both wall
 // clocks. scripts/bench.sh parses this output to build and check
 // BENCH_7.json.
-func shardedError(wl string, k, par int, warmup, instrs uint64) {
+func shardedError(wl string, k, par, barrierPar int, warmup, instrs uint64) {
 	if k <= 0 {
 		k = 8
 	}
@@ -245,6 +250,7 @@ func shardedError(wl string, k, par int, warmup, instrs uint64) {
 		rc.Instructions = instrs
 	}
 	rc.ShardParallelism = par
+	rc.BarrierParallelism = barrierPar
 	rows, err := experiment.ShardedError(rc, k)
 	if err != nil {
 		fail(err)

@@ -175,6 +175,10 @@ type FigureOptions struct {
 	// Options.EngineShards). Full-detail results, cached under their own
 	// canonical key. Mutually exclusive with SampleWindows.
 	EngineShards int
+	// BarrierParallelism bounds the workers each sharded simulation's
+	// window barriers spread their conflict groups over. Results stay
+	// bit-identical at any setting; only meaningful with EngineShards.
+	BarrierParallelism int
 	// CacheDir, when set, memoizes every simulation in a
 	// content-addressed result cache rooted at this directory (see
 	// internal/resultcache). Re-running a figure with a warm cache
@@ -199,6 +203,7 @@ func (fo FigureOptions) internal() experiment.Options {
 	o.Parallelism = fo.Parallelism
 	o.SampleWindows = fo.SampleWindows
 	o.EngineShards = fo.EngineShards
+	o.BarrierParallelism = fo.BarrierParallelism
 	o.Progress = fo.Progress
 	if fo.MetricsDir != "" {
 		o.Obs = &experiment.ObsSpec{

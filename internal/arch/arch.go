@@ -14,6 +14,7 @@ package arch
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"espnuca/internal/cache"
 	"espnuca/internal/coherence"
@@ -186,18 +187,42 @@ type Substrate struct {
 	Bank []*cache.Bank
 	RNG  *sim.RNG
 
-	where lineMap[[]l2loc]
-	// scratch is collectForWrite's reusable residency snapshot.
-	scratch []l2loc
+	// where and status are partitioned by home-bank bits (line & Banks-1):
+	// barrier transactions whose footprints claim disjoint Banks bits touch
+	// disjoint partitions, so parallel conflict groups never share a
+	// backing array (see footprint.go).
+	where partLineMap[[]l2loc]
+	// scratch is collectForWrite's reusable residency snapshot, one per
+	// core: all of a core's transactions land in the same conflict group
+	// (every footprint includes its requester-core bit), so the per-core
+	// buffer is never shared across workers.
+	scratch [][]l2loc
 
 	// sharedStatus tracks the SP/ESP private bit: present = line has been
 	// on chip; value true = shared status (two or more accessor cores).
-	status lineMap[lineStatus]
+	status partLineMap[lineStatus]
 
-	// hintValid/hintPresent carry the sharded runner's requester-presence
-	// override for Upgrade; see SetPresenceHint.
-	hintValid   bool
-	hintPresent bool
+	// hintValid/hintPresent carry the sharded runner's per-core
+	// requester-presence override for Upgrade; see SetPresenceHint.
+	hintValid   []bool
+	hintPresent []bool
+
+	// concurrent gates record/bump onto atomic adds during the sharded
+	// engine's parallel barrier phases; the sums are order-free, so the
+	// totals stay deterministic. Serial paths never pay the atomic cost.
+	concurrent bool
+
+	// OnLine, when non-nil, observes every line whose substrate residency
+	// or status bookkeeping is consulted or mutated. Test instrumentation
+	// for the footprint oracle; nil in production runs.
+	OnLine func(l mem.Line)
+
+	// fpOK reports that the geometry fits the footprint bitmask model
+	// (<=64 banks, <=64 links, <=32 cores, <=32 channels); fpLinks caches
+	// Mesh.PathLinkMask for every node pair, [from*nodes+to]. Both are
+	// set up by fpInit (footprint.go).
+	fpOK    bool
+	fpLinks []uint64
 
 	// Counts and Latency accumulate the Figure 6 decomposition; index by
 	// Level. Latency is in cycles summed over accesses.
@@ -219,7 +244,7 @@ func NewSubstrate(cfg Config) (*Substrate, error) {
 	if err != nil {
 		return nil, err
 	}
-	dir := coherence.NewDirectory()
+	dir := coherence.NewDirectoryParts(cfg.Banks)
 	dir.Check = cfg.CheckTokens
 	l1, err := coherence.NewL1s(cfg.Cores, cfg.L1, dir)
 	if err != nil {
@@ -230,15 +255,18 @@ func NewSubstrate(cfg Config) (*Substrate, error) {
 		return nil, err
 	}
 	s := &Substrate{
-		Cfg:    cfg,
-		Mesh:   mesh,
-		DRAM:   mem.NewDRAM(cfg.DRAM),
-		Dir:    dir,
-		L1:     l1,
-		Map:    mapping,
-		RNG:    sim.NewRNG(cfg.Seed ^ 0xA11CE),
-		where:  newLineMap[[]l2loc](1 << 16),
-		status: newLineMap[lineStatus](1 << 16),
+		Cfg:         cfg,
+		Mesh:        mesh,
+		DRAM:        mem.NewDRAM(cfg.DRAM),
+		Dir:         dir,
+		L1:          l1,
+		Map:         mapping,
+		RNG:         sim.NewRNG(cfg.Seed ^ 0xA11CE),
+		where:       newPartLineMap[[]l2loc](cfg.Banks, 1<<16),
+		status:      newPartLineMap[lineStatus](cfg.Banks, 1<<16),
+		scratch:     make([][]l2loc, cfg.Cores),
+		hintValid:   make([]bool, cfg.Cores),
+		hintPresent: make([]bool, cfg.Cores),
 	}
 	for i := 0; i < cfg.Banks; i++ {
 		b, err := cache.NewBank(cache.Config{
@@ -250,6 +278,7 @@ func NewSubstrate(cfg Config) (*Substrate, error) {
 		}
 		s.Bank = append(s.Bank, b)
 	}
+	s.fpInit()
 	return s, nil
 }
 
@@ -290,8 +319,36 @@ func (s *Substrate) NodeOfBank(b int) noc.NodeID {
 // NodeOfCore returns core c's router.
 func (s *Substrate) NodeOfCore(c int) noc.NodeID { return noc.NodeID(c) }
 
+// SetConcurrent switches the substrate's shared counters (the Figure 6
+// decomposition, architecture-specific event counters, mesh traffic, DRAM
+// access counts) between plain and atomic increments. The sharded runner
+// sets it around parallel barrier servicing; serial paths never pay the
+// atomic cost. Counter totals are order-free integer sums, so parallel
+// accumulation is deterministic.
+func (s *Substrate) SetConcurrent(on bool) {
+	s.concurrent = on
+	s.Mesh.SetConcurrent(on)
+	s.DRAM.SetConcurrent(on)
+}
+
+// bump adds one to a shared event counter, atomically during concurrent
+// barrier phases. Architecture counters (migrations, replicas, victims...)
+// route through it.
+func (s *Substrate) bump(p *uint64) {
+	if s.concurrent {
+		atomic.AddUint64(p, 1)
+	} else {
+		*p++
+	}
+}
+
 // record accumulates an access into the decomposition.
 func (s *Substrate) record(level Level, at, done sim.Cycle) {
+	if s.concurrent {
+		atomic.AddUint64(&s.Counts[level], 1)
+		atomic.AddUint64(&s.Latency[level], uint64(done-at))
+		return
+	}
 	s.Counts[level]++
 	s.Latency[level] += uint64(done - at)
 }
@@ -313,26 +370,37 @@ func (s *Substrate) RecordL1Hits(n uint64, lat sim.Cycle) {
 	s.Latency[LocalL1] += n * uint64(lat)
 }
 
-// SetPresenceHint overrides — for the next Access only — what Upgrade
+// SetPresenceHint overrides — for core's next Access only — what Upgrade
 // considers the requester's L1 presence for the accessed line. The
 // sharded runner fills a missing line into the requester's L1 at issue
 // time (the parallel phase) but routes the access itself through the
-// serialized barrier phase; by then L1.Has would report the post-fill
-// state, misclassifying every plain miss as an upgrade. The hint restores
-// the at-issue truth. ClearPresenceHint removes it; the serial engine
-// never sets one.
-func (s *Substrate) SetPresenceHint(present bool) {
-	s.hintValid = true
-	s.hintPresent = present
+// barrier phase; by then L1.Has would report the post-fill state,
+// misclassifying every plain miss as an upgrade. The hint restores the
+// at-issue truth. ClearPresenceHint removes it; the serial engine never
+// sets one. The hint is per core so that the parallel barrier's workers
+// — which only ever service one core's transactions concurrently with
+// other cores' (every footprint includes its requester-core bit) — never
+// share a hint slot.
+func (s *Substrate) SetPresenceHint(core int, present bool) {
+	s.hintValid[core] = true
+	s.hintPresent[core] = present
 }
 
 // ClearPresenceHint removes the presence hint set by SetPresenceHint.
-func (s *Substrate) ClearPresenceHint() { s.hintValid = false }
+func (s *Substrate) ClearPresenceHint(core int) { s.hintValid[core] = false }
 
 // --- L2 residency management ---
 
+// onLine notifies the oracle hook, if installed.
+func (s *Substrate) onLine(l mem.Line) {
+	if s.OnLine != nil {
+		s.OnLine(l)
+	}
+}
+
 // l2Has returns the copies of line currently in the L2.
 func (s *Substrate) l2Has(line mem.Line) []l2loc {
+	s.onLine(line)
 	locs, _ := s.where.get(line)
 	return locs
 }
@@ -353,6 +421,7 @@ func (s *Substrate) l2Find(line mem.Line, bank int) (l2loc, bool) {
 // eviction are the caller's job via dropEvicted or an architecture-
 // specific spill.
 func (s *Substrate) l2Insert(bank, set int, blk cache.Block, pol cache.Policy) cache.Evicted {
+	s.onLine(blk.Line)
 	ev := s.Bank[bank].Insert(set, blk, pol)
 	if !ev.Refused {
 		p := s.where.ptr(blk.Line)
@@ -374,6 +443,7 @@ func (s *Substrate) l2Invalidate(line mem.Line, bank, set int) (cache.Block, boo
 }
 
 func (s *Substrate) removeWhere(line mem.Line, bank int) {
+	s.onLine(line)
 	locs, _ := s.where.get(line)
 	for i, loc := range locs {
 		if loc.bank == bank {
@@ -393,6 +463,7 @@ func (s *Substrate) removeWhere(line mem.Line, bank int) {
 // reclassWhere updates the cached class of a residency entry after a
 // Reclass on the bank.
 func (s *Substrate) reclassWhere(line mem.Line, bank int, to cache.Class) {
+	s.onLine(line)
 	locs, _ := s.where.get(line)
 	for i := range locs {
 		if locs[i].bank == bank {
@@ -429,6 +500,7 @@ func (s *Substrate) dropEvicted(at sim.Cycle, ev cache.Evicted, fromBank int) {
 // as the first accessor on first touch and upgrading to shared when a
 // different core touches a private line (paper §2.1).
 func (s *Substrate) statusOf(line mem.Line, c int) (shared bool, owner int) {
+	s.onLine(line)
 	st, ok := s.status.get(line)
 	if !ok {
 		s.status.set(line, lineStatus{shared: false, owner: c})
@@ -443,6 +515,7 @@ func (s *Substrate) statusOf(line mem.Line, c int) (shared bool, owner int) {
 
 // peekStatus returns the status without mutating it.
 func (s *Substrate) peekStatus(line mem.Line) (shared bool, owner int, known bool) {
+	s.onLine(line)
 	st, ok := s.status.get(line)
 	return st.shared, st.owner, ok
 }
@@ -450,6 +523,7 @@ func (s *Substrate) peekStatus(line mem.Line) (shared bool, owner int, known boo
 // markShared forces a line's status to shared (victim touched by a
 // non-owner, migration, etc.).
 func (s *Substrate) markShared(line mem.Line) {
+	s.onLine(line)
 	st, _ := s.status.get(line)
 	st.shared = true
 	s.status.set(line, st)
@@ -459,6 +533,7 @@ func (s *Substrate) markShared(line mem.Line) {
 // chip entirely: the status "remains with the block while it stays in the
 // chip" (paper §2.1).
 func (s *Substrate) maybeForgetStatus(line mem.Line) {
+	s.onLine(line)
 	if len(s.l2Has(line)) > 0 {
 		return
 	}
@@ -501,8 +576,8 @@ func (s *Substrate) l1Intervention(at sim.Cycle, viaNode noc.NodeID, holder, req
 // line (a real miss).
 func (s *Substrate) Upgrade(at sim.Cycle, c int, line mem.Line) (Result, bool) {
 	held := s.L1.Has(c, line)
-	if s.hintValid {
-		held = s.hintPresent
+	if s.hintValid[c] {
+		held = s.hintPresent[c]
 	}
 	if !held {
 		return Result{}, false
@@ -545,10 +620,11 @@ func (s *Substrate) collectForWrite(at sim.Cycle, viaNode noc.NodeID, reqCore in
 	}
 	// Invalidate every L2 copy (tokens drain to the writer). l2Invalidate
 	// mutates s.where[line], so iterate over a reusable snapshot instead of
-	// the live slice (the scratch buffer avoids an allocation per write;
-	// collectForWrite never reenters itself).
-	s.scratch = append(s.scratch[:0], s.l2Has(line)...)
-	for _, loc := range s.scratch {
+	// the live slice (the per-core scratch buffer avoids an allocation per
+	// write; collectForWrite never reenters itself, and a core's
+	// transactions never run concurrently with each other).
+	s.scratch[reqCore] = append(s.scratch[reqCore][:0], s.l2Has(line)...)
+	for _, loc := range s.scratch[reqCore] {
 		t := s.Mesh.Send(at, viaNode, s.NodeOfBank(loc.bank), noc.Control, 0)
 		t = s.Bank[loc.bank].TagProbe(t)
 		t = s.Mesh.Send(t, s.NodeOfBank(loc.bank), s.NodeOfCore(reqCore), noc.Control, 0)

@@ -1,0 +1,652 @@
+package arch
+
+import (
+	"espnuca/internal/cache"
+	"espnuca/internal/coherence"
+	"espnuca/internal/mem"
+	"espnuca/internal/noc"
+)
+
+// This file implements the static conflict-footprint model behind the
+// sharded engine's parallel barrier. A Footprint is a conservative
+// superset of the shared state one barrier transaction (Access plus its
+// optional trailing WriteBack) may touch; two transactions whose
+// footprints are disjoint commute, so the barrier may service them
+// concurrently while remaining bit-identical to serial execution.
+//
+// The resource spaces, one bit each:
+//
+//   - Banks (<=64): bit b conflates two things that share the same index
+//     space on purpose — the L2 bank array b, and partition b of every
+//     line-keyed shared table (the coherence directory, the substrate's
+//     where/status maps, D-NUCA's lastReq). Partition(line) is
+//     line & (Banks-1), the same bits the Shared mapping uses for a home
+//     bank, so "touching line l's directory entry" and "touching l's home
+//     bank" claim the same bit.
+//   - Links (<=64): one bit per unidirectional mesh link
+//     (noc.Mesh.LinkBit). A transaction claims the closure of DOR routes
+//     between every pair of nodes it may message.
+//   - Cores (<=32): bit c covers core c's L1 arrays, its L1 stat counters,
+//     the substrate's per-core presence hint and scratch buffer. Every
+//     footprint includes its own requester core, which also guarantees all
+//     of one core's transactions land in the same conflict group.
+//   - Chans (<=32): DRAM channel bit (block-interleaved).
+//
+// Global marks a transaction that may touch anything (ASR and CC draw
+// from the substrate RNG, whose state orders every draw); one Global
+// footprint collapses the barrier to a single group, i.e. exact serial
+// servicing.
+//
+// Soundness leans on three facts, verified by the footprint-oracle test:
+//
+//  1. Exec-time L1 sharers of a line are a subset of its grouping-time
+//     sharers plus cores whose own transactions this barrier mention the
+//     line; fpSharers claims both, which also puts the mention cores'
+//     nodes in the link closure (intervention paths to holders that did
+//     not exist at grouping time).
+//  2. Eviction victims inserted by a same-group transaction are covered by
+//     the inserter's declared bits (occupant scans below), so a group's
+//     union covers everything any serial-order interleaving of the group
+//     touches.
+//  3. Integer event counters are order-free sums (flag-gated atomics), so
+//     their totals are deterministic regardless of which worker adds
+//     first.
+type Footprint struct {
+	Banks  uint64
+	Links  uint64
+	Cores  uint32
+	Chans  uint32
+	Global bool
+}
+
+// Overlaps reports whether two footprints may touch common state.
+func (f Footprint) Overlaps(g Footprint) bool {
+	return f.Global || g.Global ||
+		f.Banks&g.Banks != 0 || f.Links&g.Links != 0 ||
+		f.Cores&g.Cores != 0 || f.Chans&g.Chans != 0
+}
+
+// FootprintReq describes one barrier transaction: an Access by Core for
+// Line (Write selects GETX) followed, when WB is set, by a WriteBack of
+// WBLine from the same core.
+type FootprintReq struct {
+	Core   int
+	Line   mem.Line
+	Write  bool
+	WB     bool
+	WBLine mem.Line
+}
+
+// Footprinter is implemented by architectures that can declare static
+// footprints. FootprintPrepare is pass one over a barrier's requests:
+// each request notes the (bank, set) pairs it may insert into (including,
+// for ESP-NUCA, the depth-2 victim-spill homes of private occupants of
+// those sets). Footprint is pass two: compute the request's footprint,
+// consulting the context for the slim-hit guards. Both passes are
+// strictly read-only on simulator state (Peek, never Lookup/State), so
+// running them has no effect on the simulation — which is what keeps
+// BarrierParallelism=1 bit-identical without even computing footprints.
+type Footprinter interface {
+	FootprintPrepare(ctx *FootprintCtx, r FootprintReq)
+	Footprint(ctx *FootprintCtx, r FootprintReq) Footprint
+}
+
+// --- FootprintCtx: per-barrier scratch tables ---
+
+// fpTable is a small open-addressed uint64-key table with O(1)
+// generation-based reset, holding a small counter per key.
+type fpTable struct {
+	entries []fpTableEntry
+	mask    uint64
+	gen     uint32
+	count   int
+}
+
+type fpTableEntry struct {
+	key uint64
+	gen uint32
+	n   int32
+}
+
+func newFPTable(hint int) fpTable {
+	cap := 16
+	for cap < hint {
+		cap *= 2
+	}
+	return fpTable{entries: make([]fpTableEntry, cap), mask: uint64(cap - 1), gen: 1}
+}
+
+func (t *fpTable) reset() {
+	t.gen++
+	if t.gen == 0 {
+		clear(t.entries)
+		t.gen = 1
+	}
+	t.count = 0
+}
+
+func mixKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// or ORs bits into key's value, inserting at zero if absent.
+func (t *fpTable) or(key uint64, bits int32) {
+	i := mixKey(key) & t.mask
+	for {
+		e := &t.entries[i]
+		if e.gen != t.gen {
+			if 4*(t.count+1) > 3*len(t.entries) {
+				t.grow()
+				t.or(key, bits)
+				return
+			}
+			*e = fpTableEntry{key: key, gen: t.gen, n: bits}
+			t.count++
+			return
+		}
+		if e.key == key {
+			e.n |= bits
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// incr adds delta to key's counter, inserting at zero if absent.
+func (t *fpTable) incr(key uint64, delta int32) {
+	i := mixKey(key) & t.mask
+	for {
+		e := &t.entries[i]
+		if e.gen != t.gen {
+			if 4*(t.count+1) > 3*len(t.entries) {
+				t.grow()
+				t.incr(key, delta)
+				return
+			}
+			*e = fpTableEntry{key: key, gen: t.gen, n: delta}
+			t.count++
+			return
+		}
+		if e.key == key {
+			e.n += delta
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// get returns key's counter (zero if absent).
+func (t *fpTable) get(key uint64) int32 {
+	i := mixKey(key) & t.mask
+	for {
+		e := &t.entries[i]
+		if e.gen != t.gen {
+			return 0
+		}
+		if e.key == key {
+			return e.n
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *fpTable) grow() {
+	old := t.entries
+	oldGen := t.gen
+	t.entries = make([]fpTableEntry, 2*len(old))
+	t.mask = uint64(len(t.entries) - 1)
+	for i := range old {
+		e := &old[i]
+		if e.gen != oldGen {
+			continue
+		}
+		j := mixKey(e.key) & t.mask
+		for t.entries[j].gen == oldGen {
+			j = (j + 1) & t.mask
+		}
+		t.entries[j] = *e
+	}
+}
+
+// FootprintCtx carries the per-barrier scratch the two footprint passes
+// share: how many requests mention each line, and the set of (bank, set)
+// pairs any request may insert into. Reset is O(1); the tables are reused
+// across barriers without allocation churn.
+type FootprintCtx struct {
+	lines   fpTable // line -> mention count
+	cores   fpTable // line -> mask of mentioning cores
+	inserts fpTable // bank<<32|set -> note count
+
+	// own holds the current request's own insert notes while a slim-hit
+	// guard runs (see BeginOwn); collect diverts NoteInsert into it.
+	own     []uint64
+	collect bool
+}
+
+// NewFootprintCtx returns an empty context.
+func NewFootprintCtx() *FootprintCtx {
+	return &FootprintCtx{
+		lines:   newFPTable(1 << 10),
+		cores:   newFPTable(1 << 10),
+		inserts: newFPTable(1 << 10),
+	}
+}
+
+func (c *FootprintCtx) reset() {
+	c.lines.reset()
+	c.cores.reset()
+	c.inserts.reset()
+	c.own = c.own[:0]
+}
+
+func (c *FootprintCtx) noteLine(l mem.Line, core int) {
+	c.lines.incr(uint64(l), 1)
+	c.cores.or(uint64(l), 1<<uint(core))
+}
+
+// Mentions returns how many requests in the current barrier mention l
+// (as access line or write-back line).
+func (c *FootprintCtx) Mentions(l mem.Line) int { return int(c.lines.get(uint64(l))) }
+
+// MentionCores returns the mask of cores whose requests mention l this
+// barrier. Any exec-time change to l's holders, copies, or status comes
+// from one of these cores' transactions, so claiming them (fpSharers)
+// covers intervention and invalidation paths to holders that did not
+// exist at grouping time.
+func (c *FootprintCtx) MentionCores(l mem.Line) uint32 { return uint32(c.cores.get(uint64(l))) }
+
+func insertKey(bank, set int) uint64 { return uint64(bank)<<32 | uint64(uint32(set)) }
+
+// NoteInsert records that some request may insert a block into
+// (bank, set) this barrier. During CollectOwn it records into the
+// current request's own-note buffer instead.
+func (c *FootprintCtx) NoteInsert(bank, set int) {
+	k := insertKey(bank, set)
+	if c.collect {
+		c.own = append(c.own, k)
+		return
+	}
+	c.inserts.incr(k, 1)
+}
+
+// HasInsert reports whether any request may insert into (bank, set) this
+// barrier, including the asking request itself.
+func (c *FootprintCtx) HasInsert(bank, set int) bool { return c.inserts.get(insertKey(bank, set)) != 0 }
+
+// BeginOwn/EndOwn bracket a re-run of one request's prepare pass with
+// NoteInsert diverted into the own-note buffer, so OthersInsert can
+// subtract the request's own possibilistic inserts. A request that takes
+// a slim hit path performs none of its noted inserts, so only *other*
+// requests' notes can evict its hit block — counting our own note would
+// make every slim guard fail against the set the request itself targets.
+func (c *FootprintCtx) BeginOwn() {
+	c.own = c.own[:0]
+	c.collect = true
+}
+
+// EndOwn ends a BeginOwn bracket.
+func (c *FootprintCtx) EndOwn() { c.collect = false }
+
+// OthersInsert reports whether a request other than the one whose
+// prepare ran inside the last BeginOwn/EndOwn bracket may insert into
+// (bank, set) this barrier. The slim-hit footprints require it false:
+// such an insert could evict the grouping-time hit block, sending the
+// transaction down a miss path the slim footprint does not cover.
+func (c *FootprintCtx) OthersInsert(bank, set int) bool {
+	k := insertKey(bank, set)
+	n := c.inserts.get(k)
+	for _, o := range c.own {
+		if o == k {
+			n--
+		}
+	}
+	return n != 0
+}
+
+// ComputeFootprints runs the two footprint passes over one barrier's
+// requests, filling out (len(out) must equal len(reqs)).
+func ComputeFootprints(f Footprinter, ctx *FootprintCtx, reqs []FootprintReq, out []Footprint) {
+	ctx.reset()
+	for i := range reqs {
+		ctx.noteLine(reqs[i].Line, reqs[i].Core)
+		if reqs[i].WB {
+			ctx.noteLine(reqs[i].WBLine, reqs[i].Core)
+		}
+	}
+	for i := range reqs {
+		f.FootprintPrepare(ctx, reqs[i])
+	}
+	for i := range reqs {
+		out[i] = f.Footprint(ctx, reqs[i])
+	}
+}
+
+// --- Substrate footprint support ---
+
+// fpInit precomputes the footprint machinery: the geometry guards and the
+// pairwise DOR link-mask table. Called from NewSubstrate.
+func (s *Substrate) fpInit() {
+	n := s.Mesh.Nodes()
+	s.fpOK = s.Mesh.LinkCount() <= 64 && s.Cfg.Banks <= 64 &&
+		s.Cfg.Cores <= 32 && s.DRAM.Channels() <= 32 && n <= 32
+	if !s.fpOK {
+		return
+	}
+	s.fpLinks = make([]uint64, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			s.fpLinks[from*n+to] = s.Mesh.PathLinkMask(noc.NodeID(from), noc.NodeID(to))
+		}
+	}
+}
+
+// fpBuilder accumulates one transaction's footprint. bank/core/channel
+// also collect the mesh nodes involved; finish() closes the link set over
+// every DOR route between collected nodes (both directions), which covers
+// any message the transaction can send.
+type fpBuilder struct {
+	s     *Substrate
+	fp    Footprint
+	nodes uint32
+}
+
+func (b *fpBuilder) node(n noc.NodeID) { b.nodes |= 1 << uint(n) }
+
+// bank claims L2 bank array bk and its router.
+func (b *fpBuilder) bank(bk int) {
+	b.fp.Banks |= 1 << uint(bk)
+	b.node(b.s.NodeOfBank(bk))
+}
+
+// part claims line l's partition of the line-keyed shared tables
+// (directory, where, status, lastReq) — the bit only, no node.
+func (b *fpBuilder) part(l mem.Line) {
+	b.fp.Banks |= 1 << (uint64(l) & uint64(b.s.Cfg.Banks-1))
+}
+
+// core claims core c's L1 side and its router.
+func (b *fpBuilder) core(c int) {
+	b.fp.Cores |= 1 << uint(c)
+	b.node(b.s.NodeOfCore(c))
+}
+
+// channel claims line l's DRAM channel and the memory controller's router.
+func (b *fpBuilder) channel(l mem.Line) {
+	ch := b.s.DRAM.ChannelOf(l)
+	b.fp.Chans |= 1 << uint(ch)
+	b.node(b.s.Mesh.MemRouter(ch))
+}
+
+// memNode claims the memory controller router of line l's channel — the
+// node only, not the channel bit: an Upgrade's token round trip rides the
+// mesh to the controller but never claims the DRAM channel resource.
+func (b *fpBuilder) memNode(l mem.Line) {
+	b.node(b.s.Mesh.MemRouter(b.s.DRAM.ChannelOf(l)))
+}
+
+// occupants claims the partition and channel of every block currently in
+// (bank, set): an insert there may evict any of them, touching their
+// directory/status entries and possibly writing them back to DRAM. With
+// esp set, Private-class occupants additionally claim their victim-spill
+// home bank and, depth two, its occupants (ESP-NUCA spills evicted
+// private blocks to their home; the spill's own eviction is dropped, so
+// the recursion is bounded).
+func (b *fpBuilder) occupants(bank, set int, esp bool) {
+	st := b.s.Bank[bank].Set(set)
+	for i := range st.Blocks {
+		blk := &st.Blocks[i]
+		if !blk.Valid {
+			continue
+		}
+		b.part(blk.Line)
+		b.channel(blk.Line)
+		if esp && blk.Class == cache.Private {
+			hb, hs := b.s.Map.Shared(blk.Line)
+			b.bank(hb)
+			b.occupants(hb, hs, false)
+		}
+	}
+}
+
+// finish closes the link set and returns the footprint.
+func (b *fpBuilder) finish() Footprint {
+	n := b.s.Mesh.Nodes()
+	for i := 0; i < n; i++ {
+		if b.nodes&(1<<uint(i)) == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || b.nodes&(1<<uint(j)) == 0 {
+				continue
+			}
+			b.fp.Links |= b.s.fpLinks[i*n+j]
+		}
+	}
+	return b.fp
+}
+
+// fpSharers claims every core whose L1 holds tokens for line at grouping
+// time plus every core whose requests mention the line this barrier
+// (intervention and invalidation targets). Exec-time holders are a subset
+// of the two: tokens move only through transactions on the line, and a
+// new copy lands either in its creator's core-local bank (the mention
+// core's node) or in the line's home bank, which the fat paths claim —
+// so the node closure also covers intervention links to holders and
+// copies that did not exist at grouping time.
+func (s *Substrate) fpSharers(b *fpBuilder, ctx *FootprintCtx, line mem.Line) {
+	if st := s.Dir.Peek(line); st != nil {
+		for c := 0; c < s.Cfg.Cores; c++ {
+			if st.L1Tokens[c] > 0 {
+				b.core(c)
+			}
+		}
+	}
+	for m := uint64(ctx.MentionCores(line)); m != 0; m &= m - 1 {
+		b.core(trailingZeros64(m))
+	}
+}
+
+// fpCopies claims the bank of every current L2 copy of line (write
+// invalidations, remote-copy responses). Copies created during the
+// barrier come from transactions that mention the line — same group.
+func (s *Substrate) fpCopies(b *fpBuilder, line mem.Line) {
+	for _, loc := range s.l2Has(line) {
+		b.bank(loc.bank)
+	}
+}
+
+// fpNoteSpills notes the victim-spill home sets of (bank, set)'s
+// Private-class occupants: under ESP-NUCA, an insert into the set can
+// evict them into their home banks — a second-level insert the slim-hit
+// guard must know about.
+func (s *Substrate) fpNoteSpills(ctx *FootprintCtx, bank, set int) {
+	st := s.Bank[bank].Set(set)
+	for i := range st.Blocks {
+		blk := &st.Blocks[i]
+		if blk.Valid && blk.Class == cache.Private {
+			hb, hs := s.Map.Shared(blk.Line)
+			ctx.NoteInsert(hb, hs)
+		}
+	}
+}
+
+// fpOwnedRemote is ownedByRemoteL1 over a possibly-nil Peek result.
+func fpOwnedRemote(st *coherence.LineState, c int) bool {
+	return st != nil && ownedByRemoteL1(st, c)
+}
+
+// fpStableCopy reports whether some L2 copy of line is guaranteed to
+// survive the barrier: present now, in a set no *other* request may
+// insert into. Callers must additionally establish that no other request
+// mentions the line (Mentions == 1), which rules out mid-barrier
+// invalidation — evictions are insert-driven, invalidations are
+// write-driven, and both kinds of driver would mention the line.
+func (s *Substrate) fpStableCopy(ctx *FootprintCtx, line mem.Line) bool {
+	for _, loc := range s.l2Has(line) {
+		if !ctx.OthersInsert(loc.bank, loc.set) {
+			return true
+		}
+	}
+	return false
+}
+
+// fpWriteMem reports whether a write to line may contact the memory
+// controller router even though a stable on-chip copy rules out a DRAM
+// fetch: an Upgrade cedes memory's tokens via a control round trip when
+// MemTokens > 0, and a same-barrier eviction of any unstable copy can
+// raise MemTokens before the write executes. A nil directory entry means
+// all tokens sit at memory.
+func (s *Substrate) fpWriteMem(ctx *FootprintCtx, line mem.Line) bool {
+	st := s.Dir.Peek(line)
+	if st == nil || st.MemTokens > 0 {
+		return true
+	}
+	for _, loc := range s.l2Has(line) {
+		if ctx.OthersInsert(loc.bank, loc.set) {
+			return true
+		}
+	}
+	return false
+}
+
+// fpPeekSharers returns the grouping-time L1 sharer mask of line (zero
+// when the directory has no entry).
+func (s *Substrate) fpPeekSharers(line mem.Line) uint32 {
+	if st := s.Dir.Peek(line); st != nil {
+		return uint32(st.Sharers())
+	}
+	return 0
+}
+
+// --- Conflict grouping ---
+
+// GroupFootprints partitions footprints into conflict groups:
+// transitively overlapping footprints share a group. groups (len >=
+// len(fps)) receives each footprint's group id; ids are assigned in
+// first-seen order over ascending index, so the labeling is canonical —
+// it depends only on fps, never on worker count or timing. Returns the
+// number of groups. Any Global footprint collapses everything to one
+// group.
+//
+// The implementation is a union-find keyed by resource bit: for every bit
+// a footprint claims, it unions with the previous footprint that claimed
+// the same bit. This is O(n * bits) rather than O(n^2) pairwise overlap;
+// the differential fuzz test checks it against the naive reference.
+func GroupFootprints(fps []Footprint, groups []int) int {
+	n := len(fps)
+	if n == 0 {
+		return 0
+	}
+	for i := range fps {
+		if fps[i].Global {
+			for j := 0; j < n; j++ {
+				groups[j] = 0
+			}
+			return 1
+		}
+	}
+	// groups doubles as the union-find parent array.
+	for i := 0; i < n; i++ {
+		groups[i] = i
+	}
+	find := func(x int) int {
+		for groups[x] != x {
+			groups[x] = groups[groups[x]] // path halving
+			x = groups[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				groups[rb] = ra
+			} else {
+				groups[ra] = rb
+			}
+		}
+	}
+	var lastBank, lastLink [64]int
+	var lastCore, lastChan [32]int
+	for i := range lastBank {
+		lastBank[i], lastLink[i] = -1, -1
+	}
+	for i := range lastCore {
+		lastCore[i], lastChan[i] = -1, -1
+	}
+	for i := 0; i < n; i++ {
+		f := &fps[i]
+		for m := f.Banks; m != 0; m &= m - 1 {
+			b := trailingZeros64(m)
+			if lastBank[b] >= 0 {
+				union(i, lastBank[b])
+			}
+			lastBank[b] = i
+		}
+		for m := f.Links; m != 0; m &= m - 1 {
+			b := trailingZeros64(m)
+			if lastLink[b] >= 0 {
+				union(i, lastLink[b])
+			}
+			lastLink[b] = i
+		}
+		for m := uint64(f.Cores); m != 0; m &= m - 1 {
+			b := trailingZeros64(m)
+			if lastCore[b] >= 0 {
+				union(i, lastCore[b])
+			}
+			lastCore[b] = i
+		}
+		for m := uint64(f.Chans); m != 0; m &= m - 1 {
+			b := trailingZeros64(m)
+			if lastChan[b] >= 0 {
+				union(i, lastChan[b])
+			}
+			lastChan[b] = i
+		}
+	}
+	// Relabel to canonical first-seen group ids. Roots store their final
+	// label negated (-label-1) so parent indices (>=0) and labels never
+	// collide; every chain terminates at a labeled root.
+	ngroups := 0
+	for i := 0; i < n; i++ {
+		r := i
+		for groups[r] >= 0 && groups[r] != r {
+			r = groups[r]
+		}
+		var lbl int
+		if groups[r] < 0 {
+			lbl = -groups[r] - 1
+		} else {
+			lbl = ngroups
+			ngroups++
+			groups[r] = -lbl - 1
+		}
+		if r != i {
+			groups[i] = -lbl - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		groups[i] = -groups[i] - 1
+	}
+	return ngroups
+}
+
+// trailingZeros64 is math/bits.TrailingZeros64 without the import (the
+// compiler intrinsifies neither here; the De Bruijn form is branch-free
+// and allocation-free).
+func trailingZeros64(x uint64) int {
+	return deBruijnIdx[((x&-x)*0x03f79d71b4ca8b09)>>58]
+}
+
+var deBruijnIdx = [64]int{
+	0, 1, 56, 2, 57, 49, 28, 3, 61, 58, 42, 50, 38, 29, 17, 4,
+	62, 47, 59, 36, 45, 43, 51, 22, 53, 39, 33, 30, 24, 18, 12, 5,
+	63, 55, 48, 27, 60, 41, 37, 16, 46, 35, 44, 21, 52, 32, 23, 11,
+	54, 26, 40, 15, 34, 20, 31, 10, 25, 14, 19, 9, 13, 8, 7, 6,
+}

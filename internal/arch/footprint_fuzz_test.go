@@ -1,0 +1,149 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sparseMask64 returns a mask with up to three random bits set (possibly
+// none), sparse enough that disjoint footprints actually occur.
+func sparseMask64(rng *rand.Rand, width int) uint64 {
+	var m uint64
+	for k := rng.Intn(4); k > 0; k-- {
+		m |= 1 << uint(rng.Intn(width))
+	}
+	return m
+}
+
+func randFootprints(rng *rand.Rand, n int) []Footprint {
+	fps := make([]Footprint, n)
+	for i := range fps {
+		fps[i] = Footprint{
+			Banks:  sparseMask64(rng, 64),
+			Links:  sparseMask64(rng, 64),
+			Cores:  uint32(sparseMask64(rng, 32)),
+			Chans:  uint32(sparseMask64(rng, 32)),
+			Global: rng.Intn(48) == 0,
+		}
+	}
+	return fps
+}
+
+// refGroups is the obvious O(n^2) reference: build the pairwise-overlap
+// graph, take connected components, and label them in order of their
+// first member (the canonical labeling GroupFootprints promises).
+func refGroups(fps []Footprint) (int, []int) {
+	n := len(fps)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		comp[i] = next
+		stack = append(stack[:0], i)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for j := 0; j < n; j++ {
+				if comp[j] < 0 && fps[v].Overlaps(fps[j]) {
+					comp[j] = next
+					stack = append(stack, j)
+				}
+			}
+		}
+		next++
+	}
+	return next, comp
+}
+
+// TestGroupFootprintsDifferential fuzzes the resource-keyed union-find
+// grouper against the O(n^2) pairwise reference: identical component
+// structure AND identical canonical (first-seen) labels on every input.
+func TestGroupFootprintsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	groups := make([]int, 64)
+	for iter := 0; iter < 4000; iter++ {
+		n := 1 + rng.Intn(25)
+		fps := randFootprints(rng, n)
+		ng := GroupFootprints(fps, groups[:n])
+		wantNG, want := refGroups(fps)
+		if ng != wantNG {
+			t.Fatalf("iter %d: %d groups, reference says %d\nfps: %+v",
+				iter, ng, wantNG, fps)
+		}
+		for i := 0; i < n; i++ {
+			if groups[i] != want[i] {
+				t.Fatalf("iter %d req %d: group %d, reference %d\nfps: %+v",
+					iter, i, groups[i], want[i], fps)
+			}
+		}
+	}
+}
+
+// TestGroupFootprintsCanonical checks the two properties the parallel
+// barrier's determinism rests on: labels are assigned in first-seen
+// order (so equal inputs give equal labelings), and permuting the input
+// permutes the labeling but never the partition.
+func TestGroupFootprintsCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 500; iter++ {
+		n := 2 + rng.Intn(24)
+		fps := randFootprints(rng, n)
+		groups := make([]int, n)
+		ng := GroupFootprints(fps, groups)
+
+		// First-seen canonical labels: scanning left to right, each new
+		// label is exactly the next integer.
+		seen := 0
+		for i, g := range groups {
+			if g > seen {
+				t.Fatalf("iter %d: label %d at index %d before %d was used",
+					iter, g, i, seen)
+			}
+			if g == seen {
+				seen++
+			}
+		}
+		if seen != ng {
+			t.Fatalf("iter %d: %d labels used, GroupFootprints returned %d",
+				iter, seen, ng)
+		}
+
+		// Rerunning on the same input reproduces the labeling bit for bit.
+		again := make([]int, n)
+		if ng2 := GroupFootprints(fps, again); ng2 != ng {
+			t.Fatalf("iter %d: group count changed on rerun: %d vs %d", iter, ng2, ng)
+		}
+		for i := range groups {
+			if groups[i] != again[i] {
+				t.Fatalf("iter %d: labeling changed on rerun at %d", iter, i)
+			}
+		}
+
+		// A random permutation of the requests must induce the same
+		// partition: i and j share a group before iff they do after.
+		perm := rng.Perm(n)
+		pfps := make([]Footprint, n)
+		for i, p := range perm {
+			pfps[i] = fps[p]
+		}
+		pgroups := make([]int, n)
+		GroupFootprints(pfps, pgroups)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				before := groups[perm[i]] == groups[perm[j]]
+				after := pgroups[i] == pgroups[j]
+				if before != after {
+					t.Fatalf("iter %d: partition not permutation-invariant "+
+						"(orig %d,%d same=%v, permuted same=%v)",
+						iter, perm[i], perm[j], before, after)
+				}
+			}
+		}
+	}
+}

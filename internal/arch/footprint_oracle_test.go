@@ -1,0 +1,222 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"espnuca/internal/mem"
+	"espnuca/internal/noc"
+	"espnuca/internal/sim"
+)
+
+// fpOracle records the shared resources a transaction actually touches
+// during execution, in the same bit spaces the static footprints use.
+// Core/L1-side state has no instrumentation hook; it is covered by the
+// requester-core bit plus fpSharers and exercised end to end by the
+// sharded engine's determinism test instead.
+type fpOracle struct {
+	armed bool
+	banks uint64
+	links uint64
+	chans uint32
+}
+
+func (o *fpOracle) reset() { o.banks, o.links, o.chans = 0, 0, 0 }
+
+// install hooks the oracle into every touchable resource of s. The hooks
+// only record while armed, so footprint computation (which peeks banks
+// and residency) can run over the same substrate without polluting the
+// observation.
+func installOracle(s *Substrate) *fpOracle {
+	o := &fpOracle{}
+	nb := uint64(s.Cfg.Banks)
+	s.OnLine = func(l mem.Line) {
+		if o.armed {
+			o.banks |= 1 << (uint64(l) & (nb - 1))
+		}
+	}
+	for i := range s.Bank {
+		i := i
+		s.Bank[i].OnTouch = func() {
+			if o.armed {
+				o.banks |= 1 << uint(i)
+			}
+		}
+	}
+	s.Mesh.OnLink = func(dir int, node noc.NodeID) {
+		if o.armed {
+			o.links |= 1 << uint(s.Mesh.LinkBit(dir, node))
+		}
+	}
+	s.DRAM.OnChannel = func(ch int) {
+		if o.armed {
+			o.chans |= 1 << uint(ch)
+		}
+	}
+	return o
+}
+
+// l1Model is a tiny per-core FIFO emulation of the issue-side L1: it
+// produces the presence hints and displacement write-backs a sharded
+// engine window would, including stale presence (a line another core
+// writes this barrier is still "present" for requests issued before the
+// barrier serviced the write — exactly the skew the mention-core mask in
+// the footprints must cover).
+type l1Model struct {
+	lines []mem.Line
+	dirty []bool
+	cap   int
+}
+
+func (m *l1Model) find(l mem.Line) int {
+	for i, x := range m.lines {
+		if x == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// issue models one core reference and returns (queued, present, wbValid,
+// wbLine, wbDirty). Following the engine's issue protocol, an L1 hit
+// (resident read, or write to a line this core already wrote) is absorbed
+// by the L1 and never becomes a barrier request; a write to a resident
+// clean line is queued as an upgrade with present=true.
+func (m *l1Model) issue(l mem.Line, write bool) (bool, bool, bool, mem.Line, bool) {
+	if i := m.find(l); i >= 0 {
+		if !write || m.dirty[i] {
+			m.dirty[i] = m.dirty[i] || write
+			return false, true, false, 0, false
+		}
+		m.dirty[i] = true
+		return true, true, false, 0, false
+	}
+	m.lines = append(m.lines, l)
+	m.dirty = append(m.dirty, write)
+	if len(m.lines) <= m.cap {
+		return true, false, false, 0, false
+	}
+	vl, vd := m.lines[0], m.dirty[0]
+	m.lines = m.lines[1:]
+	m.dirty = m.dirty[1:]
+	return true, false, true, vl, vd
+}
+
+// TestFootprintOracle drives randomized barrier batches through every
+// footprint-capable architecture and asserts, per transaction, that the
+// banks, line partitions, mesh links and DRAM channels it actually
+// touches are inside the union footprint of its conflict group. This is
+// the safety net for every slim-tier refinement: a hole here is a
+// cross-group conflict the parallel barrier would race on.
+func TestFootprintOracle(t *testing.T) {
+	for _, name := range []string{"shared", "private", "sp-nuca", "esp-nuca", "d-nuca"} {
+		t.Run(name, func(t *testing.T) {
+			sys := build(t, name)
+			fpr, ok := sys.(Footprinter)
+			if !ok {
+				t.Fatalf("%s does not implement Footprinter", name)
+			}
+			s := sys.Sub()
+			if !s.fpOK {
+				t.Fatalf("test geometry must support footprints")
+			}
+			o := installOracle(s)
+			ctx := NewFootprintCtx()
+			// Several seeded streams over the same substrate: later seeds
+			// run against a warmed, heavily aliased cache state.
+			rng := rand.New(rand.NewSource(1))
+			l1s := make([]*l1Model, s.Cfg.Cores)
+			for i := range l1s {
+				l1s[i] = &l1Model{cap: s.Cfg.L1ILines()}
+			}
+
+			const maxReqs = 16
+			reqs := make([]FootprintReq, 0, maxReqs)
+			wbDirty := make([]bool, 0, maxReqs)
+			present := make([]bool, 0, maxReqs)
+			ats := make([]sim.Cycle, 0, maxReqs)
+			fps := make([]Footprint, maxReqs)
+			groups := make([]int, maxReqs)
+			unions := make([]Footprint, maxReqs)
+
+			at := sim.Cycle(0)
+			checked := 0
+			for barrier := 0; barrier < 1200; barrier++ {
+				if barrier%400 == 0 {
+					rng = rand.New(rand.NewSource(int64(1 + barrier/400)))
+				}
+				reqs, wbDirty, present, ats = reqs[:0], wbDirty[:0], present[:0], ats[:0]
+				want := 4 + rng.Intn(maxReqs-4)
+				for len(reqs) < want {
+					c := rng.Intn(s.Cfg.Cores)
+					// A small pool with a hot subset: enough reuse for
+					// hits, upgrades and cross-core sharing, enough spread
+					// for evictions and spills.
+					var line mem.Line
+					if rng.Intn(3) == 0 {
+						line = mem.Line(rng.Intn(24))
+					} else {
+						line = mem.Line(rng.Intn(512))
+					}
+					write := rng.Intn(100) < 30
+					queued, pres, wbv, wbl, wbd := l1s[c].issue(line, write)
+					if !queued {
+						continue
+					}
+					reqs = append(reqs, FootprintReq{
+						Core: c, Line: line, Write: write, WB: wbv, WBLine: wbl,
+					})
+					present = append(present, pres)
+					wbDirty = append(wbDirty, wbd)
+					at++
+					ats = append(ats, at)
+				}
+				n := len(reqs)
+
+				ComputeFootprints(fpr, ctx, reqs, fps[:n])
+				ng := GroupFootprints(fps[:n], groups[:n])
+				for g := 0; g < ng; g++ {
+					unions[g] = Footprint{}
+				}
+				for i := 0; i < n; i++ {
+					u := &unions[groups[i]]
+					u.Banks |= fps[i].Banks
+					u.Links |= fps[i].Links
+					u.Cores |= fps[i].Cores
+					u.Chans |= fps[i].Chans
+					u.Global = u.Global || fps[i].Global
+				}
+
+				for i := 0; i < n; i++ {
+					r := reqs[i]
+					o.armed = true
+					o.reset()
+					s.SetPresenceHint(r.Core, present[i])
+					res := sys.Access(ats[i], r.Core, r.Line, r.Write)
+					s.ClearPresenceHint(r.Core)
+					if r.WB {
+						sys.WriteBack(res.Done, r.Core, r.WBLine, wbDirty[i])
+					}
+					o.armed = false
+					u := unions[groups[i]]
+					if u.Global {
+						continue
+					}
+					checked++
+					if o.banks&^u.Banks != 0 || o.links&^u.Links != 0 ||
+						o.chans&^u.Chans != 0 {
+						t.Fatalf("barrier %d req %d (%+v present=%v wbDirty=%v): "+
+							"touched outside group union\n  banks %#x outside %#x\n"+
+							"  links %#x outside %#x\n  chans %#x outside %#x",
+							barrier, i, r, present[i], wbDirty[i],
+							o.banks, u.Banks, o.links, u.Links, o.chans, u.Chans)
+					}
+				}
+				at += 64
+			}
+			if checked == 0 {
+				t.Fatal("no non-global transactions checked; oracle exercised nothing")
+			}
+		})
+	}
+}

@@ -114,6 +114,13 @@ func (l *L1s) SetFunctional(on bool) {
 	}
 }
 
+// SetOnTouch installs f as the touch observer on both of core c's L1
+// banks (nil uninstalls). Test instrumentation for the footprint oracle.
+func (l *L1s) SetOnTouch(c int, f func()) {
+	l.data[c].OnTouch = f
+	l.instr[c].OnTouch = f
+}
+
 func (l *L1s) setOf(line mem.Line) int { return int(uint64(line) % uint64(l.sets)) }
 
 func (l *L1s) bank(c int, ifetch bool) *cache.Bank {

@@ -69,6 +69,11 @@ type Options struct {
 	// RunConfig.EngineShards). Full-detail results on a different
 	// canonical key; mutually exclusive with SampleWindows.
 	EngineShards int
+	// BarrierParallelism bounds the workers each sharded simulation's
+	// window barriers spread their conflict groups over (see
+	// RunConfig.BarrierParallelism). Bit-identical at any setting; only
+	// meaningful with EngineShards.
+	BarrierParallelism int
 	// Obs, when non-nil, captures per-run telemetry files (see ObsSpec).
 	Obs *ObsSpec
 	// RunFunc, when non-nil, substitutes Run for every independent
@@ -101,6 +106,7 @@ func (o Options) matrix(workloads []string, variants []Variant) Matrix {
 	m.Parallelism = o.Parallelism
 	m.SampleWindows = o.SampleWindows
 	m.EngineShards = o.EngineShards
+	m.BarrierParallelism = o.BarrierParallelism
 	m.Obs = o.Obs
 	m.RunFunc = o.RunFunc
 	return m

@@ -80,6 +80,18 @@ type RunConfig struct {
 	// any setting (TestShardedParallelDeterminism), so it is excluded
 	// from the canonical key.
 	ShardParallelism int `canon:"-"`
+	// BarrierParallelism, when > 1, lets a sharded run service each
+	// barrier's merged request list in parallel: requests are partitioned
+	// into conflict groups by static footprint analysis (see
+	// arch.Footprinter) and independent groups run on up to this many
+	// workers, each group internally in the deterministic merged order.
+	// Grouping is a pure function of the requests and the groups are
+	// pairwise disjoint in the state they touch, so results are
+	// bit-identical at any setting (TestBarrierParallelDeterminism) and
+	// the field is excluded from the canonical key. 0 or 1 keeps the
+	// serial barrier; architectures that cannot declare footprints
+	// (victim-replication, r-nuca) always service serially.
+	BarrierParallelism int `canon:"-"`
 
 	// Metrics, when non-nil, receives this run's telemetry (see
 	// internal/obs): interval snapshots of per-bank hit rates and helping

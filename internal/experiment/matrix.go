@@ -71,6 +71,12 @@ type Matrix struct {
 	// to their single-cell sharded runs. Mutually exclusive with
 	// SampleWindows.
 	EngineShards int
+	// BarrierParallelism bounds the workers each sharded cell's window
+	// barriers spread their conflict groups over (see
+	// RunConfig.BarrierParallelism); <= 1 services barriers serially.
+	// Results are bit-identical at any setting. Only meaningful with
+	// EngineShards.
+	BarrierParallelism int
 	// Obs, when non-nil, captures per-run telemetry: each cell gets its
 	// own registry writing to Obs.Dir (simulation results are unaffected).
 	Obs *ObsSpec
@@ -158,8 +164,9 @@ func (m Matrix) Run(progress func(done, total int)) (Results, error) {
 			SampleWindows:     m.SampleWindows,
 			SampleParallelism: 1,
 
-			EngineShards:     m.EngineShards,
-			ShardParallelism: 1,
+			EngineShards:       m.EngineShards,
+			ShardParallelism:   1,
+			BarrierParallelism: m.BarrierParallelism,
 		}
 		if v.CCProb >= 0 {
 			rc.System.CCProbability = v.CCProb

@@ -1,11 +1,15 @@
 package experiment
 
 import (
+	"math/rand"
 	"reflect"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
 	"espnuca/internal/obs"
+	"espnuca/internal/sim"
 )
 
 // shardedGateMaxRelErr is the committed fidelity bound CI holds sharded
@@ -156,6 +160,151 @@ func TestShardedMetricsDontPerturb(t *testing.T) {
 	}
 	if _, ok := series["shard.window_width"]; !ok {
 		t.Error("shard.window_width series missing")
+	}
+}
+
+// TestBarrierParallelDeterminism is the correctness contract of
+// conflict-group barrier servicing: for every architecture in the
+// registry's evaluated set, a sharded run is bit-identical whether the
+// barrier services its merged requests serially or spread over 2 or 8
+// workers. Architectures without a useful footprint oracle (asr, cc
+// declare Global) exercise the fallback-to-serial path under the same
+// assertion. CI runs this under -race to catch unsynchronized sharing
+// inside a conflict group.
+func TestBarrierParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded runs")
+	}
+	// The run setup clamps the worker pool to GOMAXPROCS; keep at
+	// least two scheduling slots so a 1-core host still exercises
+	// serviceParallel (concurrently, if not in parallel) rather than
+	// silently testing the serial path three times.
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	archs := []string{"shared", "private", "sp-nuca", "esp-nuca", "d-nuca", "asr", "cc"}
+	for _, archName := range archs {
+		wls := []string{"apache"}
+		if archName == "esp-nuca" {
+			wls = append(wls, "gcc-4") // half-rate workload: idle cores, sparser barriers
+		}
+		for _, wl := range wls {
+			rc := shardedQuickRC(archName, wl, 4)
+			base, err := Run(rc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", archName, wl, err)
+			}
+			for _, p := range []int{2, 8} {
+				rc.BarrierParallelism = p
+				got, err := Run(rc)
+				if err != nil {
+					t.Fatalf("%s/%s bpar=%d: %v", archName, wl, p, err)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("%s/%s: results at BarrierParallelism=%d differ from serial barrier:\n got  %+v\n want %+v",
+						archName, wl, p, got, base)
+				}
+			}
+		}
+	}
+}
+
+// TestBarrierParallelGroupsObserved checks the parallel path actually
+// engages on a footprint-capable architecture: an instrumented run with
+// BarrierParallelism=2 must record barriers that split into more than
+// one conflict group, and instrumentation must not perturb the result.
+func TestBarrierParallelGroupsObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded runs")
+	}
+	// Pin the grouping governor to probe every barrier: this workload's
+	// multi-group barriers are sparse (~4%), and the point here is that
+	// grouping finds them and the telemetry shows them — bit-identity
+	// must hold at any cap regardless, which the DeepEqual below checks.
+	defer func(cap int) { barrierProbeBackoff = cap }(barrierProbeBackoff)
+	barrierProbeBackoff = 1
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	rc := shardedQuickRC("esp-nuca", "apache", 4)
+	base, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.BarrierParallelism = 2
+	reg := obs.NewRegistry()
+	rc.Metrics = reg
+	got, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Metrics = nil
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("instrumented parallel-barrier run differs from serial barrier:\n got  %+v\n want %+v", got, base)
+	}
+	h := reg.Histogram("shard.barrier_groups", nil)
+	count, sum, _ := h.Snapshot()
+	if count == 0 {
+		t.Fatal("shard.barrier_groups recorded no barriers")
+	}
+	if sum <= float64(count) {
+		t.Errorf("no barrier split into multiple conflict groups (mean groups %.2f over %d barriers)",
+			sum/float64(count), count)
+	}
+	hs := reg.Histogram("shard.barrier_service_ms", nil)
+	if c, _, _ := hs.Snapshot(); c == 0 {
+		t.Error("shard.barrier_service_ms recorded no barriers")
+	}
+}
+
+// TestMergeRefsMatchesSort pins the k-way merge against the sort it
+// replaced: for random per-shard queues (each non-decreasing in cycle,
+// as shard-local event order guarantees), mergeRefs must produce exactly
+// the order sort.Slice by (at, shard, idx) would.
+func TestMergeRefsMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for pass := 0; pass < 200; pass++ {
+		k := 1 + rng.Intn(6)
+		r := &shardedRun{reqs: make([][]shardReq, k)}
+		for s := 0; s < k; s++ {
+			n := rng.Intn(12)
+			at := sim.Cycle(rng.Intn(4))
+			for i := 0; i < n; i++ {
+				at += sim.Cycle(rng.Intn(3)) // non-decreasing, heavy ties
+				r.reqs[s] = append(r.reqs[s], shardReq{at: at, core: s})
+			}
+		}
+		want := []mergedRef{}
+		for s := range r.reqs {
+			for i := range r.reqs[s] {
+				want = append(want, mergedRef{shard: s, idx: i})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			ra, rb := want[a], want[b]
+			aa, ab := r.reqs[ra.shard][ra.idx].at, r.reqs[rb.shard][rb.idx].at
+			if aa != ab {
+				return aa < ab
+			}
+			if ra.shard != rb.shard {
+				return ra.shard < rb.shard
+			}
+			return ra.idx < rb.idx
+		})
+		got := r.mergeRefs()
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pass %d: merge order differs from sorted order:\n got  %v\n want %v", pass, got, want)
+		}
+		// Buffer reuse across barriers must not leak previous contents.
+		for s := range r.reqs {
+			r.reqs[s] = r.reqs[s][:0]
+		}
+		if again := r.mergeRefs(); len(again) != 0 {
+			t.Fatalf("pass %d: mergeRefs on empty queues returned %v", pass, again)
+		}
 	}
 }
 

@@ -1,6 +1,10 @@
 package mem
 
-import "espnuca/internal/sim"
+import (
+	"sync/atomic"
+
+	"espnuca/internal/sim"
+)
 
 // DRAMConfig parameterizes the off-chip memory model.
 type DRAMConfig struct {
@@ -32,10 +36,32 @@ type DRAM struct {
 	// without claiming a channel or counting (sampled-run fast-forward).
 	functional bool
 
+	// concurrent gates Reads/Writes onto atomic adds during the sharded
+	// engine's parallel barrier phases (order-free integer sums, so the
+	// totals stay deterministic). Channel Resources stay plain: footprint
+	// grouping guarantees per-channel exclusivity.
+	concurrent bool
+
+	// OnChannel, when non-nil, observes every channel use. Test
+	// instrumentation for the footprint oracle; nil in production runs.
+	OnChannel func(ch int)
+
 	// Reads and Writes count accesses, for the off-chip traffic metrics
 	// of Figure 7.
 	Reads  uint64
 	Writes uint64
+}
+
+// SetConcurrent switches the access counters between plain and atomic
+// increments (see the field comment).
+func (d *DRAM) SetConcurrent(on bool) { d.concurrent = on }
+
+func (d *DRAM) count(p *uint64) {
+	if d.concurrent {
+		atomic.AddUint64(p, 1)
+	} else {
+		*p++
+	}
 }
 
 // SetFunctional switches the memory model between timed and functional
@@ -94,8 +120,12 @@ func (d *DRAM) Read(at sim.Cycle, l Line) sim.Cycle {
 	if d.functional {
 		return at
 	}
-	d.Reads++
-	ch := d.channels[d.ChannelOf(l)]
+	d.count(&d.Reads)
+	c := d.ChannelOf(l)
+	if d.OnChannel != nil {
+		d.OnChannel(c)
+	}
+	ch := d.channels[c]
 	return ch.Claim(at) + d.cfg.Latency
 }
 
@@ -106,8 +136,12 @@ func (d *DRAM) Write(at sim.Cycle, l Line) sim.Cycle {
 	if d.functional {
 		return at
 	}
-	d.Writes++
-	ch := d.channels[d.ChannelOf(l)]
+	d.count(&d.Writes)
+	c := d.ChannelOf(l)
+	if d.OnChannel != nil {
+		d.OnChannel(c)
+	}
+	ch := d.channels[c]
 	return ch.Claim(at)
 }
 

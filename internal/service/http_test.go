@@ -290,6 +290,11 @@ func TestHTTPErrorsAndIntrospection(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field: %d %s", resp.StatusCode, body)
 	}
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", map[string]any{"kind": "run", "run": map[string]any{
+		"arch": "esp-nuca", "workload": "apache", "engine_shards": 2, "barrier_parallelism": -2}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative barrier_parallelism: %d %s", resp.StatusCode, body)
+	}
 
 	// A finished job shows up in the list; metricsz reflects it.
 	v := submitAndWait(t, ts, quickRunSpec(7))
@@ -301,7 +306,7 @@ func TestHTTPErrorsAndIntrospection(t *testing.T) {
 		t.Errorf("list not newest-first: %s", list[0].ID)
 	}
 	var metrics struct {
-		Counters map[string]uint64 `json:"counters"`
+		Counters map[string]uint64  `json:"counters"`
 		Cache    *resultcache.Stats `json:"cache"`
 	}
 	if code := getJSON(t, ts.URL+"/metricsz", &metrics); code != http.StatusOK {

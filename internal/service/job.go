@@ -53,6 +53,12 @@ type RunSpec struct {
 	// accounting in Shard and is cached under a distinct key from the
 	// serial run. Mutually exclusive with sample_windows.
 	EngineShards int `json:"engine_shards,omitempty"`
+	// BarrierParallelism, when > 1, services each sharded window
+	// barrier's independent conflict groups concurrently (see
+	// experiment.RunConfig.BarrierParallelism). Results are bit-identical
+	// at any setting, so it does not enter the cache key. Only meaningful
+	// with engine_shards.
+	BarrierParallelism int `json:"barrier_parallelism,omitempty"`
 }
 
 // Config lowers the spec to a RunConfig, validating names eagerly so a
@@ -94,6 +100,10 @@ func (sp RunSpec) Config() (experiment.RunConfig, error) {
 		return experiment.RunConfig{}, fmt.Errorf("service: engine_shards and sample_windows are mutually exclusive")
 	}
 	rc.EngineShards = sp.EngineShards
+	if sp.BarrierParallelism < 0 {
+		return experiment.RunConfig{}, fmt.Errorf("service: barrier_parallelism %d is negative", sp.BarrierParallelism)
+	}
+	rc.BarrierParallelism = sp.BarrierParallelism
 	return rc, nil
 }
 
@@ -128,6 +138,10 @@ type MatrixSpec struct {
 	// parallel engine with that many mesh-region shards per cell.
 	// Mutually exclusive with sample_windows.
 	EngineShards int `json:"engine_shards,omitempty"`
+	// BarrierParallelism, when > 1, services each sharded cell's window
+	// barriers with that many conflict-group workers. Bit-identical at
+	// any setting; only meaningful with engine_shards.
+	BarrierParallelism int `json:"barrier_parallelism,omitempty"`
 }
 
 // Matrix lowers the spec, validating workloads and variant names.
@@ -187,6 +201,10 @@ func (sp MatrixSpec) Matrix() (experiment.Matrix, error) {
 		return experiment.Matrix{}, fmt.Errorf("service: engine_shards and sample_windows are mutually exclusive")
 	}
 	m.EngineShards = sp.EngineShards
+	if sp.BarrierParallelism < 0 {
+		return experiment.Matrix{}, fmt.Errorf("service: barrier_parallelism %d is negative", sp.BarrierParallelism)
+	}
+	m.BarrierParallelism = sp.BarrierParallelism
 	return m, nil
 }
 

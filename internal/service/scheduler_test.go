@@ -94,12 +94,15 @@ func TestSubmitValidatesEagerly(t *testing.T) {
 		{},                                  // no payload
 		{Run: &RunSpec{Arch: "esp-nuca"}},   // missing workload
 		{Run: &RunSpec{Workload: "apache"}}, // missing arch
-		{Run: &RunSpec{Arch: "x", Workload: "nosuch"}},                                                            // bad workload
-		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", CCProbability: 1.5}},                                 // cc_probability > 1
-		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", CCProbability: -0.2}},                                // cc_probability <= 0
-		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", SampleWindows: -3}},                                  // negative sample_windows
-		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", EngineShards: -2}},                                   // negative engine_shards
-		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", SampleWindows: 4, EngineShards: 2}},                  // both execution modes
+		{Run: &RunSpec{Arch: "x", Workload: "nosuch"}},                                                 // bad workload
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", CCProbability: 1.5}},                      // cc_probability > 1
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", CCProbability: -0.2}},                     // cc_probability <= 0
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", SampleWindows: -3}},                       // negative sample_windows
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", EngineShards: -2}},                        // negative engine_shards
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", SampleWindows: 4, EngineShards: 2}},       // both execution modes
+		{Run: &RunSpec{Arch: "esp-nuca", Workload: "apache", EngineShards: 2, BarrierParallelism: -4}}, // negative barrier_parallelism
+		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}, VariantSet: "counterparts",
+			EngineShards: 2, BarrierParallelism: -1}}, // negative matrix barrier_parallelism
 		{Kind: KindMatrix, Matrix: &MatrixSpec{}},                                                                 // empty matrix
 		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}}},                                    // no variants
 		{Kind: KindMatrix, Matrix: &MatrixSpec{Workloads: []string{"apache"}, VariantSet: "nope"}},                // bad set

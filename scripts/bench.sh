@@ -22,7 +22,20 @@
 #                               gate.min_speedup on multi-core hosts, and
 #                               stay under gate.max_serial_overhead slowdown
 #                               on single-core hosts (no parallelism there
-#                               to recoup the windowing overhead)
+#                               to recoup the windowing overhead).
+#                               The same invocation also times a third run
+#                               per architecture with parallel barrier
+#                               servicing (BENCH_8.json's
+#                               barrier_parallelism conflict-group workers)
+#                               and gates it machine-aware too: the
+#                               parallel barrier must be bit-identical to
+#                               the serial barrier always, beat
+#                               BENCH_8 gate.min_speedup over the
+#                               serial-barrier sharded run on multi-core
+#                               hosts, and stay under
+#                               gate.max_serial_overhead on single-core
+#                               hosts (grouping overhead, no parallelism
+#                               to recoup it)
 #
 # ns/op is reported but never gated: wall-clock varies with the runner's
 # hardware, while allocs/op is deterministic for a fixed workload and is
@@ -39,6 +52,7 @@ BENCHTIME="${BENCHTIME:-20x}"
 BASELINE="BENCH_5.json"
 SAMPLE_BASELINE="BENCH_6.json"
 SHARD_BASELINE="BENCH_7.json"
+BARRIER_BASELINE="BENCH_8.json"
 
 if [ "$MODE" = "sample" ]; then
     WL=$(jq -r .workload "$SAMPLE_BASELINE")
@@ -75,16 +89,18 @@ if [ "$MODE" = "shard" ]; then
     WARM=$(jq -r .warmup "$SHARD_BASELINE")
     INSTR=$(jq -r .instructions "$SHARD_BASELINE")
     K=$(jq -r .engine_shards "$SHARD_BASELINE")
+    BPAR=$(jq -r .barrier_parallelism "$BARRIER_BASELINE")
     NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
-    echo "bench.sh: sharded-engine validation — workload=$WL warmup=$WARM instructions=$INSTR shards=$K host-cores=$NCPU"
-    ROWS=$(go run ./cmd/espsweep -shard-error "$WL" -shards "$K" \
+    echo "bench.sh: sharded-engine validation — workload=$WL warmup=$WARM instructions=$INSTR shards=$K barrier-parallel=$BPAR host-cores=$NCPU"
+    ROWS=$(go run ./cmd/espsweep -shard-error "$WL" -shards "$K" -barrier-parallel "$BPAR" \
         -warmup "$WARM" -instructions "$INSTR")
-    printf '%-10s %10s %10s %10s %8s %9s\n' ARCH 'THR-ERR%' 'AAT-ERR%' 'OFF-ERR%' RETIRED SPEEDUP
+    printf '%-10s %10s %10s %10s %8s %9s %9s %6s\n' ARCH 'THR-ERR%' 'AAT-ERR%' 'OFF-ERR%' RETIRED SPEEDUP 'BAR-SPD' IDENT
     echo "$ROWS" | jq -r '.[] | [.Arch, (.Throughput*100), (.AvgAccessTime*100),
         (.OffChipAccesses*100), (if .RetiredExact then "exact" else "DRIFT" end),
-        (.FullSeconds/.ShardedSeconds)] | @tsv' |
-        while IFS=$'\t' read -r a t x o r s; do
-            printf '%-10s %10.2f %10.2f %10.2f %8s %8.2fx\n' "$a" "$t" "$x" "$o" "$r" "$s"
+        (.FullSeconds/.ShardedSeconds), (.ShardedSeconds/.BarrierSeconds),
+        (if .BarrierIdentical then "yes" else "NO" end)] | @tsv' |
+        while IFS=$'\t' read -r a t x o r s b i; do
+            printf '%-10s %10.2f %10.2f %10.2f %8s %8.2fx %8.2fx %6s\n' "$a" "$t" "$x" "$o" "$r" "$s" "$b" "$i"
         done
 
     MAX_THR=$(jq -r .gate.max_rel_err_throughput "$SHARD_BASELINE")
@@ -108,6 +124,26 @@ if [ "$MODE" = "shard" ]; then
         exit 1
     fi
     echo "bench.sh: OK — all architectures within BENCH_7 gate (thr err <= $MAX_THR, aat err <= $MAX_AAT, retired exact, $CLOCK_DESC)"
+
+    # BENCH_8: the parallel barrier must be bit-identical to the serial
+    # barrier everywhere, and its wall clock gated machine-aware against
+    # the serial-barrier sharded run.
+    if [ "$NCPU" -ge 2 ]; then
+        MIN_BSPD=$(jq -r .gate.min_speedup "$BARRIER_BASELINE")
+        BCLOCK_DESC="barrier speedup >= $MIN_BSPD"
+    else
+        MIN_BSPD=$(jq -r '1 / .gate.max_serial_overhead' "$BARRIER_BASELINE")
+        BCLOCK_DESC="barrier overhead <= $(jq -r .gate.max_serial_overhead "$BARRIER_BASELINE")x (1-core host)"
+    fi
+    BAD=$(echo "$ROWS" | jq --argjson s "$MIN_BSPD" \
+        '[.[] | select((.BarrierIdentical | not)
+                       or (.ShardedSeconds / .BarrierSeconds) < $s) | .Arch]')
+    if [ "$(echo "$BAD" | jq length)" -gt 0 ]; then
+        echo "bench.sh: FAIL — $(echo "$BAD" | jq -rc .) violate the BENCH_8 gate" >&2
+        echo "bench.sh: (gate: parallel barrier bit-identical, $BCLOCK_DESC)" >&2
+        exit 1
+    fi
+    echo "bench.sh: OK — all architectures within BENCH_8 gate (bit-identical, $BCLOCK_DESC)"
     exit 0
 fi
 
